@@ -1,0 +1,79 @@
+// Ablation: the two overhead accountings of paper Section III-B.
+//
+// The BOLD publication's simulator charged h "directly to the
+// simulation times"; the paper's SimGrid-MSG reproduction instead adds
+// h * #chunks to the measured wasted time after a free-scheduling run.
+// This bench quantifies how much the choice matters per technique and
+// task count -- the end-effect gap that explains why the paper's
+// relative discrepancy shrinks as n grows.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hagerup/simulator.hpp"
+#include "stats/summary.hpp"
+#include "support/flags.hpp"
+#include "support/parallel_for.hpp"
+#include "support/table.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+double mean_wasted(dls::Kind kind, std::size_t tasks, bool inline_overhead, std::size_t runs,
+                   unsigned threads) {
+  std::vector<double> values(runs);
+  support::parallel_for(
+      runs,
+      [&](std::size_t i) {
+        hagerup::Config cfg;
+        cfg.technique = kind;
+        cfg.pes = 8;
+        cfg.tasks = tasks;
+        cfg.params.h = 0.5;
+        cfg.params.mu = 1.0;
+        cfg.params.sigma = 1.0;
+        cfg.workload = workload::exponential(1.0);
+        cfg.charge_overhead_inline = inline_overhead;
+        cfg.seed = 4242 + 31 * i;
+        values[i] = hagerup::run(cfg).avg_wasted_time;
+      },
+      threads);
+  return stats::summarize(values).mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("runs", "200", "runs per cell");
+  flags.define("threads", "0", "worker threads");
+  flags.define("csv", "false", "emit CSV");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  const auto runs = static_cast<std::size_t>(flags.get_int("runs"));
+  const auto threads = static_cast<unsigned>(flags.get_int("threads"));
+
+  std::cout << "=== Ablation: overhead accounting (inline vs analytic), p = 8 ===\n"
+            << "inline   = h charged on the worker timeline (BOLD publication)\n"
+            << "analytic = h * chunks added after a free-scheduling run (paper Sec. III-B)\n\n";
+
+  support::Table table({"technique", "n", "inline [s]", "analytic [s]", "gap [%]"});
+  for (const dls::Kind kind :
+       {dls::Kind::kSS, dls::Kind::kGSS, dls::Kind::kFAC2, dls::Kind::kBOLD}) {
+    for (const std::size_t n : {1024u, 8192u, 65536u}) {
+      const double inline_w = mean_wasted(kind, n, true, runs, threads);
+      const double analytic_w = mean_wasted(kind, n, false, runs, threads);
+      table.add_row({dls::to_string(kind), std::to_string(n), support::fmt(inline_w, 2),
+                     support::fmt(analytic_w, 2),
+                     support::fmt(stats::discrepancy(inline_w, analytic_w).relative_percent, 1)});
+    }
+  }
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_ascii());
+  std::cout << "\nexpected shape: the gap shrinks with n (end effects amortize), the\n"
+               "mechanism behind the paper's decreasing relative discrepancy.\n";
+  return EXIT_SUCCESS;
+}

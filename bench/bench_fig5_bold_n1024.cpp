@@ -1,0 +1,7 @@
+// Regenerates paper Figure 5: average wasted time of the eight DLS
+// techniques for n = 1024 tasks on p in {2, 8, 64, 256, 1024} PEs.
+#include "bold_common.hpp"
+
+int main(int argc, char** argv) {
+  return bench::run_bold_bench({"Figure 5", 1024, /*default_runs=*/1000}, argc, argv);
+}

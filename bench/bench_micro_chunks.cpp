@@ -1,0 +1,105 @@
+// Microbenchmark: cost of one next_chunk() decision per technique.
+//
+// The paper's stated goal for the verified implementation is "modeling
+// the overhead of the DLS techniques, with the goal to identify the
+// technique with lowest overhead" -- this bench measures the *native*
+// chunk-calculation cost of each technique (the algorithmic component
+// of h), using google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "dls/technique.hpp"
+
+namespace {
+
+void bench_next_chunk(benchmark::State& state, dls::Kind kind) {
+  dls::Params params;
+  params.p = 64;
+  params.n = 1 << 20;
+  params.mu = 1.0;
+  params.sigma = 1.0;
+  params.h = 0.5;
+  const auto tech = dls::make_technique(kind, params);
+  std::size_t pe = 0;
+  double now = 0.0;
+  std::size_t scheduled = 0;
+  for (auto _ : state) {
+    std::size_t chunk = tech->next_chunk(dls::Request{pe, now});
+    if (chunk == 0) {
+      // Loop exhausted: restart the run outside the measured region.
+      state.PauseTiming();
+      tech->reset();
+      scheduled = 0;
+      state.ResumeTiming();
+      chunk = tech->next_chunk(dls::Request{pe, now});
+    }
+    scheduled += chunk;
+    benchmark::DoNotOptimize(chunk);
+    pe = (pe + 1) % params.p;
+    now += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bench_next_chunk_with_feedback(benchmark::State& state, dls::Kind kind) {
+  // Adaptive techniques pay an extra cost per completion report.
+  dls::Params params;
+  params.p = 64;
+  params.n = 1 << 20;
+  params.mu = 1.0;
+  params.sigma = 1.0;
+  params.h = 0.5;
+  const auto tech = dls::make_technique(kind, params);
+  std::size_t pe = 0;
+  double now = 0.0;
+  for (auto _ : state) {
+    std::size_t chunk = tech->next_chunk(dls::Request{pe, now});
+    if (chunk == 0) {
+      state.PauseTiming();
+      tech->reset();
+      state.ResumeTiming();
+      chunk = tech->next_chunk(dls::Request{pe, now});
+    }
+    now += 1.0;
+    tech->on_chunk_complete(dls::ChunkFeedback{pe, chunk, static_cast<double>(chunk), now});
+    benchmark::DoNotOptimize(chunk);
+    pe = (pe + 1) % params.p;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+#define DLS_MICRO(kind_name, kind)                                            \
+  void BM_NextChunk_##kind_name(benchmark::State& state) {                    \
+    bench_next_chunk(state, kind);                                            \
+  }                                                                           \
+  BENCHMARK(BM_NextChunk_##kind_name)
+
+DLS_MICRO(STAT, dls::Kind::kStatic);
+DLS_MICRO(SS, dls::Kind::kSS);
+DLS_MICRO(CSS, dls::Kind::kCSS);
+DLS_MICRO(FSC, dls::Kind::kFSC);
+DLS_MICRO(GSS, dls::Kind::kGSS);
+DLS_MICRO(TSS, dls::Kind::kTSS);
+DLS_MICRO(FAC, dls::Kind::kFAC);
+DLS_MICRO(FAC2, dls::Kind::kFAC2);
+DLS_MICRO(BOLD, dls::Kind::kBOLD);
+DLS_MICRO(TAP, dls::Kind::kTAP);
+DLS_MICRO(WF, dls::Kind::kWF);
+DLS_MICRO(mFSC, dls::Kind::kMFSC);
+DLS_MICRO(TFSS, dls::Kind::kTFSS);
+DLS_MICRO(RND, dls::Kind::kRND);
+
+#define DLS_MICRO_FB(kind_name, kind)                                         \
+  void BM_NextChunkFeedback_##kind_name(benchmark::State& state) {            \
+    bench_next_chunk_with_feedback(state, kind);                              \
+  }                                                                           \
+  BENCHMARK(BM_NextChunkFeedback_##kind_name)
+
+DLS_MICRO_FB(AWF_B, dls::Kind::kAWFB);
+DLS_MICRO_FB(AWF_C, dls::Kind::kAWFC);
+DLS_MICRO_FB(AF, dls::Kind::kAF);
+DLS_MICRO_FB(BOLD, dls::Kind::kBOLD);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Regenerates paper Table II (required parameters for the DLS
+// techniques) directly from the implementation's requirement masks,
+// plus the Table I notation legend.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "dls/technique.hpp"
+#include "support/table.hpp"
+
+int main() {
+  std::cout << "=== Paper Table I: notation ===\n";
+  support::Table notation({"symbol", "definition"});
+  notation.add_row({"p", "number of PEs"});
+  notation.add_row({"n", "number of tasks"});
+  notation.add_row({"r", "number of remaining tasks"});
+  notation.add_row({"h", "scheduling overhead"});
+  notation.add_row({"mu", "mean of the task execution times"});
+  notation.add_row({"sigma", "variance of the task execution times"});
+  notation.add_row({"f", "first chunk size"});
+  notation.add_row({"l", "last chunk size"});
+  notation.add_row({"m", "number of remaining and under execution tasks"});
+  notation.print(std::cout);
+
+  std::cout << "\n=== Paper Table II: required parameters for the DLS techniques ===\n";
+  using namespace dls::requires_bit;
+  const std::pair<unsigned, const char*> columns[] = {
+      {kP, "p"},     {kN, "n"},         {kR, "r"},     {kH, "h"},  {kMu, "mu"},
+      {kSigma, "sigma"}, {kFirst, "f"}, {kLast, "l"},  {kM, "m"}};
+
+  std::vector<std::string> header = {"DLS"};
+  for (const auto& [bit, label] : columns) header.emplace_back(label);
+  support::Table table(std::move(header));
+
+  dls::Params params;
+  params.p = 4;
+  params.n = 1024;
+  params.mu = 1.0;
+  params.sigma = 1.0;
+  params.h = 0.5;
+  for (const dls::Kind kind : dls::bold_publication_kinds()) {
+    const unsigned mask = dls::make_technique(kind, params)->required_mask();
+    std::vector<std::string> row = {dls::to_string(kind)};
+    for (const auto& [bit, label] : columns) {
+      row.emplace_back((mask & bit) != 0 ? "X" : "");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n=== Extension techniques (beyond paper Table II) ===\n";
+  support::Table ext({"DLS", "requires"});
+  for (const dls::Kind kind : dls::all_kinds()) {
+    bool in_table2 = false;
+    for (dls::Kind k2 : dls::bold_publication_kinds()) in_table2 |= (k2 == kind);
+    if (in_table2) continue;
+    const unsigned mask = dls::make_technique(kind, params)->required_mask();
+    ext.add_row({dls::to_string(kind), dls::requires_to_string(mask)});
+  }
+  ext.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,80 @@
+#include "bold_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "repro/bold_experiment.hpp"
+#include "support/flags.hpp"
+
+namespace bench {
+
+int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
+  support::Flags flags;
+  flags.define("runs", std::to_string(spec.default_runs),
+               "runs per (technique, p) cell and side");
+  flags.define("full", "false", "use the paper-exact 1000 runs");
+  flags.define("threads", "0", "worker threads (0 = hardware concurrency)");
+  flags.define("csv", "false", "emit CSV instead of aligned tables");
+  flags.define("pes", "2,8,64,256,1024", "PE counts to sweep");
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  repro::BoldOptions options;
+  options.tasks = spec.tasks;
+  options.runs = flags.get_bool("full") ? 1000
+                                        : static_cast<std::size_t>(flags.get_int("runs"));
+  options.threads = static_cast<unsigned>(flags.get_int("threads"));
+  options.pes.clear();
+  for (std::int64_t p : flags.get_int_list("pes")) {
+    options.pes.push_back(static_cast<std::size_t>(p));
+  }
+  const bool csv = flags.get_bool("csv");
+
+  std::cout << "=== " << spec.figure << ": average wasted time, n = " << spec.tasks
+            << " tasks ===\n"
+            << "protocol: " << options.runs << " runs/cell (paper: 1000; --full restores it), "
+            << "exponential task times mu = " << options.mu << " s, sigma = " << options.sigma
+            << " s, h = " << options.h << " s\n"
+            << "sides: original = replicated Hagerup direct simulator (erand48); "
+               "simulation = simx master-worker (null network, analytic overhead)\n\n";
+  std::cout << "Paper Table III (overview of reproducibility experiments):\n";
+  std::cout << repro::bold_grid_table().to_ascii() << "\n";
+
+  const std::vector<repro::BoldCell> cells = repro::run_bold_experiment(options);
+
+  auto emit = [&](const char* title, const support::Table& table) {
+    std::cout << title << "\n" << (csv ? table.to_csv() : table.to_ascii()) << "\n";
+  };
+  emit("(a) values from the replicated original simulator [s]:",
+       repro::bold_values_table(cells, options, /*original_side=*/true));
+  emit("(b) values from the simx master-worker simulation [s]:",
+       repro::bold_values_table(cells, options, /*original_side=*/false));
+  emit("(c) discrepancy (simulation - original) [s]:",
+       repro::bold_discrepancy_table(cells, options, /*relative=*/false));
+  emit("(d) relative discrepancy [%]:",
+       repro::bold_discrepancy_table(cells, options, /*relative=*/true));
+
+  // The prose summary the paper derives from each figure.
+  double max_abs = 0.0, max_rel = 0.0, max_rel_no_outlier = 0.0;
+  for (const repro::BoldCell& c : cells) {
+    max_abs = std::max(max_abs, std::abs(c.discrepancy.absolute));
+    max_rel = std::max(max_rel, std::abs(c.discrepancy.relative_percent));
+    const bool fac_p2_outlier = c.technique == dls::Kind::kFAC && c.pes == 2;
+    if (!fac_p2_outlier) {
+      max_rel_no_outlier = std::max(max_rel_no_outlier, std::abs(c.discrepancy.relative_percent));
+    }
+  }
+  std::cout << "summary: max |discrepancy| = " << support::fmt(max_abs, 2)
+            << " s; max |relative| = " << support::fmt(max_rel, 1)
+            << " %; excluding the FAC/p=2 outlier the paper discusses: "
+            << support::fmt(max_rel_no_outlier, 1) << " %\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace bench

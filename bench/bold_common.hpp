@@ -1,0 +1,22 @@
+#pragma once
+
+// Shared driver for the BOLD-publication reproduction benches
+// (paper Figures 5-8): one binary per task count, all printing the four
+// subfigures (original values, simulation values, discrepancy, relative
+// discrepancy) plus the summary statistics the paper reports in prose.
+
+#include <cstddef>
+
+namespace bench {
+
+struct BoldBenchSpec {
+  const char* figure;        ///< e.g. "Figure 5"
+  std::size_t tasks;         ///< n
+  std::size_t default_runs;  ///< reduced default; --full restores 1000
+};
+
+/// Parses flags (--runs, --full, --threads, --csv, --pes) and runs the
+/// experiment.  Returns a process exit code.
+int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv);
+
+}  // namespace bench

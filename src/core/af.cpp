@@ -1,0 +1,139 @@
+// AF -- adaptive factoring (Banicescu & Liu 2000): "adaptive at
+// execution time against algorithmic variances as well as to systemic
+// variances, by dynamically estimating for each PE the new mean and
+// the new variance of the task execution times after the execution of
+// each chunk" (paper Section II).  Deferred to future work by the
+// paper; implemented here as an extension.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// Per-PE running estimate of the task-time mean and variance.
+///
+/// The master observes only chunk aggregates (size s, elapsed time t),
+/// so each completed chunk contributes one sample x = t/s of the
+/// per-task mean, weighted by s.  Under the CLT, var(x) ~ sigma^2/s,
+/// hence the per-task variance is recovered as the weighted variance of
+/// the x samples multiplied by the average chunk size.  This estimator
+/// is documented in DESIGN.md as a substitution for per-iteration
+/// timing, which a message-passing master never sees.
+class PerTaskEstimator {
+ public:
+  void add_chunk(std::size_t size, double exec_time) {
+    const double w = static_cast<double>(size);
+    const double x = exec_time / w;
+    weight_ += w;
+    ++chunks_;
+    const double delta = x - mean_;
+    mean_ += delta * (w / weight_);
+    m2_ += w * delta * (x - mean_);
+  }
+
+  [[nodiscard]] bool ready() const { return chunks_ >= 2; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const {
+    if (chunks_ < 2 || weight_ <= 0.0) return 0.0;
+    const double var_of_means = m2_ / weight_;
+    const double avg_chunk = weight_ / static_cast<double>(chunks_);
+    return var_of_means * avg_chunk;
+  }
+  void reset() { *this = PerTaskEstimator{}; }
+
+ private:
+  double weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  std::size_t chunks_ = 0;
+};
+
+/// AF chunk rule.  With per-PE estimates (mu_j, sigma_j^2), a request
+/// from PE i receives
+///
+///   D = sum_j sigma_j^2 / mu_j
+///   T = R / sum_j (1 / mu_j)
+///   K_i = (D + 2T - sqrt(D^2 + 4*D*T)) / (2 * mu_i)
+///
+/// (Banicescu & Liu 2000).  PEs without estimates yet use the mean of
+/// the measured PEs, or bootstrap probing chunks of ceil(R/(2p^2))
+/// before any measurements exist.
+class AdaptiveFactoring final : public Technique {
+ public:
+  explicit AdaptiveFactoring(const Params& params) : Technique(params) {
+    estimators_.resize(params.p);
+  }
+
+  Kind kind() const override { return Kind::kAF; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kR;  // everything else is measured at execution time
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request& request, std::size_t remaining, std::size_t) override {
+    const std::size_t p = params().p;
+    const double r = static_cast<double>(remaining);
+
+    // Collect measured estimates; fall back to probing chunks until at
+    // least one PE has two completed chunks.
+    double mean_mu = 0.0;
+    std::size_t measured = 0;
+    for (const auto& est : estimators_) {
+      if (est.ready() && est.mean() > 0.0) {
+        mean_mu += est.mean();
+        ++measured;
+      }
+    }
+    if (measured == 0) {
+      const auto probe = static_cast<std::size_t>(
+          std::ceil(r / (2.0 * static_cast<double>(p) * static_cast<double>(p))));
+      return std::max<std::size_t>(1, probe);
+    }
+    mean_mu /= static_cast<double>(measured);
+
+    double d = 0.0;
+    double inv_mu_sum = 0.0;
+    for (const auto& est : estimators_) {
+      const double mu_j = (est.ready() && est.mean() > 0.0) ? est.mean() : mean_mu;
+      const double var_j = (est.ready() && est.mean() > 0.0) ? est.variance() : 0.0;
+      d += var_j / mu_j;
+      inv_mu_sum += 1.0 / mu_j;
+    }
+    const double t = r / inv_mu_sum;
+    const double mu_i = (estimators_[request.pe].ready() && estimators_[request.pe].mean() > 0.0)
+                            ? estimators_[request.pe].mean()
+                            : mean_mu;
+    const double k = (d + 2.0 * t - std::sqrt(d * d + 4.0 * d * t)) / (2.0 * mu_i);
+    return static_cast<std::size_t>(std::ceil(std::max(k, 1.0)));
+  }
+
+  void do_on_chunk_complete(const ChunkFeedback& fb) override {
+    if (fb.exec_time > 0.0) estimators_[fb.pe].add_chunk(fb.size, fb.exec_time);
+  }
+
+  void do_reset() override {
+    for (auto& est : estimators_) est.reset();
+  }
+
+  void do_start_timestep() override {
+    // Estimators persist across time steps: AF keeps refining its
+    // per-PE mean/variance estimates over the whole application run.
+  }
+
+ private:
+  std::vector<PerTaskEstimator> estimators_;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_af(const Params& params) {
+  return std::make_unique<AdaptiveFactoring>(params);
+}
+
+}  // namespace dls::detail

@@ -1,0 +1,95 @@
+// BOLD (Hagerup 1997) -- the most elaborate non-adaptive technique in
+// the paper's Table II, and the one whose publication provides the
+// successfully reproduced experiments (paper Figures 5-8).
+//
+// RECONSTRUCTION NOTE (see DESIGN.md, substitution table).  The original
+// publication specifies BOLD through a derivation whose final pseudocode
+// is not fully recoverable from the surviving literature.  This
+// implementation keeps the published structure and constants:
+//
+//   * the variance coefficients  a = 2*sigma^2/mu^2  and
+//     b = 8a*ln(8a)  (clamped at 0 for low-variance workloads),
+//   * the overhead coefficients  c1 = h/(mu*ln 2),
+//     c2 = sqrt(2*pi)*c1,  c3 = ln(c2),
+//   * the bookkeeping of both r (unallocated tasks) and m (unfinished
+//     tasks, i.e. unallocated + in execution) -- the `m` column that
+//     Table II of the paper attributes uniquely to BOLD;
+//
+// and combines them the way the derivation motivates:
+//
+//   1. start from the fair share t1 = r/p;
+//   2. shrink it by a variance safety margin, choosing K such that
+//      K + sqrt(b*K) = t1, whose closed form is
+//      K = t1 + b/2 - sqrt(b*t1 + b^2/4)  ("be bold, but leave room
+//      for the expected overshoot of the last chunks");
+//   3. never let chunks shrink below the overhead floor
+//      c1 * (c3 + ln(m/p)) -- the term through which the per-allocation
+//      overhead h and the unfinished count m keep the tail chunks large
+//      enough that scheduling overhead cannot dominate.
+//
+// The reconstruction preserves BOLD's published qualitative behaviour:
+// bolder initial chunks than factoring, geometric decrease, and a
+// floored tail, yielding the flattest wasted-time curves of the eight
+// techniques in the reproduced experiments.
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+class Bold final : public Technique {
+ public:
+  explicit Bold(const Params& params) : Technique(params) {
+    if (params.mu <= 0.0) throw std::invalid_argument("BOLD requires mu > 0");
+    if (params.sigma < 0.0) throw std::invalid_argument("BOLD requires sigma >= 0");
+    if (params.h < 0.0) throw std::invalid_argument("BOLD requires h >= 0");
+    const double a = 2.0 * (params.sigma * params.sigma) / (params.mu * params.mu);
+    b_ = a > 0.0 ? 8.0 * a * std::log(8.0 * a) : 0.0;
+    if (b_ < 0.0) b_ = 0.0;  // 8a < 1: variance too small to matter
+    c1_ = params.h > 0.0 ? params.h / (params.mu * std::numbers::ln2) : 0.0;
+    const double c2 = std::sqrt(2.0 * std::numbers::pi) * c1_;
+    c3_ = c2 > 0.0 ? std::log(c2) : 0.0;
+  }
+
+  Kind kind() const override { return Kind::kBOLD; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR | kH | kMu | kSigma | kM;
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t remaining, std::size_t unfinished) override {
+    const double p = static_cast<double>(params().p);
+    const double t1 = static_cast<double>(remaining) / p;
+    if (t1 <= 1.0) return 1;
+
+    // Variance safety margin: solve K + sqrt(b*K) = t1 for K.
+    const double k_var = t1 + b_ / 2.0 - std::sqrt(b_ * t1 + b_ * b_ / 4.0);
+
+    // Overhead floor: grows with the log of the per-PE share of the
+    // still-unfinished work m/p, so tail chunks amortize h.
+    const double share_unfinished = std::max(static_cast<double>(unfinished) / p, 1.0);
+    const double k_overhead = c1_ * (c3_ + std::log(share_unfinished));
+
+    const double k = std::max({k_var, k_overhead, 1.0});
+    return static_cast<std::size_t>(std::llround(k));
+  }
+
+ private:
+  double b_ = 0.0;
+  double c1_ = 0.0;
+  double c3_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_bold(const Params& params) {
+  return std::make_unique<Bold>(params);
+}
+
+}  // namespace dls::detail

@@ -1,0 +1,165 @@
+// Post-paper techniques from the DLS follow-up literature (the LB4OMP
+// family, Korndoerfer et al.): mFSC, TFSS and the RND stress baseline.
+// These extend the verified set beyond the paper's Table II.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// Number of chunks FAC2 issues for (n, p): batches of p chunks of
+/// ceil(R/2p) until exhaustion.  Used by mFSC to match FAC2's
+/// scheduling-overhead budget with a fixed chunk size.
+std::size_t fac2_chunk_count(std::size_t n, std::size_t p) {
+  std::size_t remaining = n;
+  std::size_t count = 0;
+  while (remaining > 0) {
+    const std::size_t chunk = std::max<std::size_t>(1, (remaining + 2 * p - 1) / (2 * p));
+    for (std::size_t i = 0; i < p && remaining > 0; ++i) {
+      remaining -= std::min(chunk, remaining);
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// mFSC -- modified fixed-size chunking: a fixed chunk size chosen so
+/// that the total number of chunks (and hence the total scheduling
+/// overhead) equals FAC2's, without needing the h and sigma inputs of
+/// Kruskal-Weiss FSC.
+class ModifiedFsc final : public Technique {
+ public:
+  explicit ModifiedFsc(const Params& params) : Technique(params) {
+    const std::size_t chunks = fac2_chunk_count(params.n, params.p);
+    k_ = std::max<std::size_t>(1, (params.n + chunks - 1) / chunks);
+  }
+
+  Kind kind() const override { return Kind::kMFSC; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN;
+  }
+
+  [[nodiscard]] std::size_t chunk_size() const { return k_; }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override { return k_; }
+
+ private:
+  std::size_t k_ = 1;
+};
+
+/// TFSS -- trapezoid factoring self-scheduling: TSS's linear decrease
+/// applied batch-wise; all p chunks of a batch share the mean of the
+/// p trapezoid sizes the batch spans, stabilizing TSS's tail.
+class TrapezoidFactoring final : public Technique {
+ public:
+  explicit TrapezoidFactoring(const Params& params) : Technique(params) {
+    f_ = params.tss_first != 0
+             ? params.tss_first
+             : std::max<std::size_t>(1, (params.n + 2 * params.p - 1) / (2 * params.p));
+    l_ = params.tss_last != 0 ? params.tss_last : 1;
+    if (l_ > f_) {
+      throw std::invalid_argument("TFSS: last chunk size l must not exceed first chunk size f");
+    }
+    const std::size_t planned = std::max<std::size_t>(1, (2 * params.n + f_ + l_ - 1) / (f_ + l_));
+    delta_ = planned > 1 ? static_cast<double>(f_ - l_) / static_cast<double>(planned - 1) : 0.0;
+  }
+
+  Kind kind() const override { return Kind::kTFSS; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN | kFirst | kLast;
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override {
+    if (batch_left_ == 0) {
+      // Mean of the p trapezoid sizes this batch covers:
+      // f - delta*(i + (p-1)/2) for trapezoid index i.
+      const double p = static_cast<double>(params().p);
+      const double mid = static_cast<double>(trapezoid_index_) + (p - 1.0) / 2.0;
+      const double size = static_cast<double>(f_) - delta_ * mid;
+      batch_chunk_ = std::max<std::size_t>(
+          l_, static_cast<std::size_t>(std::llround(std::max(size, 1.0))));
+      batch_left_ = params().p;
+      trapezoid_index_ += params().p;
+    }
+    --batch_left_;
+    return batch_chunk_;
+  }
+
+  void do_reset() override {
+    batch_left_ = 0;
+    batch_chunk_ = 0;
+    trapezoid_index_ = 0;
+  }
+
+ private:
+  std::size_t f_ = 1;
+  std::size_t l_ = 1;
+  double delta_ = 0.0;
+  std::size_t batch_left_ = 0;
+  std::size_t batch_chunk_ = 0;
+  std::size_t trapezoid_index_ = 0;
+};
+
+/// RND -- uniformly random chunk size in [rnd_min, rnd_max]: not a load
+/// balancing technique but the stress/control baseline of the LB4OMP
+/// study.  Deterministic given Params::rnd_seed (splitmix64 stream).
+class RandomChunks final : public Technique {
+ public:
+  explicit RandomChunks(const Params& params) : Technique(params) {
+    lo_ = std::max<std::size_t>(1, params.rnd_min);
+    hi_ = params.rnd_max != 0
+              ? params.rnd_max
+              : std::max<std::size_t>(1, (params.n + params.p - 1) / params.p);
+    if (lo_ > hi_) throw std::invalid_argument("RND: rnd_min must not exceed rnd_max");
+    state_ = params.rnd_seed;
+  }
+
+  Kind kind() const override { return Kind::kRND; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN;  // bounds default to [1, ceil(n/p)]
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override {
+    const std::size_t span = hi_ - lo_ + 1;
+    return lo_ + static_cast<std::size_t>(next_u64() % span);
+  }
+
+  void do_reset() override { state_ = params().rnd_seed; }
+
+ private:
+  std::uint64_t next_u64() {
+    state_ += 0x9E3779B97f4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::size_t lo_ = 1;
+  std::size_t hi_ = 1;
+  std::uint64_t state_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_mfsc(const Params& params) {
+  return std::make_unique<ModifiedFsc>(params);
+}
+std::unique_ptr<Technique> make_tfss(const Params& params) {
+  return std::make_unique<TrapezoidFactoring>(params);
+}
+std::unique_ptr<Technique> make_rnd(const Params& params) {
+  return std::make_unique<RandomChunks>(params);
+}
+
+}  // namespace dls::detail

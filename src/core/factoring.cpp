@@ -1,0 +1,271 @@
+// The factoring family: FAC, FAC2 (paper Section II), and the
+// weighted/adaptive descendants WF, AWF, AWF-B, AWF-C that the paper
+// lists for heterogeneous systems and time-stepping applications.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// Common batch bookkeeping: factoring techniques schedule chunks in
+/// batches of p; a new batch size is computed from the tasks remaining
+/// when the previous batch has been fully handed out.
+class BatchedFactoring : public Technique {
+ public:
+  explicit BatchedFactoring(const Params& params) : Technique(params) {}
+
+ protected:
+  std::size_t compute_chunk(const Request& request, std::size_t remaining,
+                            std::size_t unfinished) override {
+    if (batch_left_ == 0) {
+      on_batch_boundary();
+      batch_base_chunk_ = compute_batch_chunk(remaining, unfinished);
+      batch_left_ = params().p;
+      ++batch_index_;
+    }
+    --batch_left_;
+    return scale_for_pe(request.pe, batch_base_chunk_);
+  }
+
+  void do_reset() override {
+    reset_batches();
+    on_factoring_reset();
+  }
+
+  void do_start_timestep() override {
+    // New sweep over the n tasks: batches restart, but adaptive state
+    // (owned by subclasses via on_factoring_reset) is preserved.
+    reset_batches();
+  }
+
+  /// Size of the (unweighted) chunks of the next batch.
+  virtual std::size_t compute_batch_chunk(std::size_t remaining, std::size_t unfinished) = 0;
+  /// Weighted variants scale the base chunk per requesting PE.
+  virtual std::size_t scale_for_pe(std::size_t /*pe*/, std::size_t base) { return base; }
+  /// AWF-B adapts weights here.
+  virtual void on_batch_boundary() {}
+  virtual void on_factoring_reset() {}
+
+  [[nodiscard]] std::size_t batch_index() const { return batch_index_; }
+
+ private:
+  void reset_batches() {
+    batch_left_ = 0;
+    batch_base_chunk_ = 0;
+    batch_index_ = 0;
+  }
+
+  std::size_t batch_left_ = 0;
+  std::size_t batch_base_chunk_ = 0;
+  std::size_t batch_index_ = 0;
+};
+
+/// FAC -- factoring with known mean and variance (Hummel, Schonberg &
+/// Flynn 1992).  For a batch starting with R remaining tasks:
+///
+///   b   = (p / (2*sqrt(R))) * (sigma/mu)
+///   x_0 = 1 + b^2 + b*sqrt(b^2 + 2)       (first batch)
+///   x_j = 2 + b^2 + b*sqrt(b^2 + 4)       (subsequent batches)
+///   chunk = ceil( R / (x_j * p) )
+///
+/// With sigma = 0 this degenerates to x_0 = 1 (one batch of n/p blocks,
+/// i.e. static chunking), the analytically optimal behaviour for
+/// variance-free workloads.
+class Factoring final : public BatchedFactoring {
+ public:
+  explicit Factoring(const Params& params) : BatchedFactoring(params) {
+    if (params.mu <= 0.0) throw std::invalid_argument("FAC requires mu > 0");
+    if (params.sigma < 0.0) throw std::invalid_argument("FAC requires sigma >= 0");
+  }
+
+  Kind kind() const override { return Kind::kFAC; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR | kMu | kSigma;
+  }
+
+ protected:
+  std::size_t compute_batch_chunk(std::size_t remaining, std::size_t) override {
+    const double p = static_cast<double>(params().p);
+    const double r = static_cast<double>(remaining);
+    const double b = p / (2.0 * std::sqrt(r)) * (params().sigma / params().mu);
+    const double x = batch_index() == 0 ? 1.0 + b * b + b * std::sqrt(b * b + 2.0)
+                                        : 2.0 + b * b + b * std::sqrt(b * b + 4.0);
+    return static_cast<std::size_t>(std::ceil(r / (x * p)));
+  }
+};
+
+/// FAC2 -- practical factoring: each batch hands out half of the
+/// remaining tasks in p equal chunks ("a decreasing factor ... of
+/// x_j = 2 (FAC2), which works well in practice").
+class Factoring2 final : public BatchedFactoring {
+ public:
+  explicit Factoring2(const Params& params) : BatchedFactoring(params) {}
+
+  Kind kind() const override { return Kind::kFAC2; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR;
+  }
+
+ protected:
+  std::size_t compute_batch_chunk(std::size_t remaining, std::size_t) override {
+    return (remaining + 2 * params().p - 1) / (2 * params().p);  // ceil(R / 2p)
+  }
+};
+
+/// Normalizes weights so that their mean is 1 (sum = p); a PE with
+/// weight w receives w times the unweighted factoring chunk.
+std::vector<double> normalize_weights(std::vector<double> w, std::size_t p) {
+  if (w.empty()) w.assign(p, 1.0);
+  if (w.size() != p) {
+    throw std::invalid_argument("weights size " + std::to_string(w.size()) +
+                                " != p = " + std::to_string(p));
+  }
+  double sum = 0.0;
+  for (double v : w) {
+    if (!(v > 0.0)) throw std::invalid_argument("weights must be positive");
+    sum += v;
+  }
+  const double scale = static_cast<double>(p) / sum;
+  for (double& v : w) v *= scale;
+  return w;
+}
+
+/// WF -- weighted factoring (Hummel et al. 1996): FAC2 batches, with
+/// each PE's share scaled by its fixed relative speed weight.
+class WeightedFactoring final : public BatchedFactoring {
+ public:
+  explicit WeightedFactoring(const Params& params) : BatchedFactoring(params) {
+    weights_ = normalize_weights(params.weights, params.p);
+  }
+
+  Kind kind() const override { return Kind::kWF; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR;  // plus the static weights, which predate execution
+  }
+
+ protected:
+  std::size_t compute_batch_chunk(std::size_t remaining, std::size_t) override {
+    return (remaining + 2 * params().p - 1) / (2 * params().p);
+  }
+  std::size_t scale_for_pe(std::size_t pe, std::size_t base) override {
+    const double scaled = weights_[pe] * static_cast<double>(base);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(scaled)));
+  }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// AWF and its finer-grained variants AWF-B/C/D/E (Banicescu et al.
+/// 2003; Carino & Banicescu 2008; the D/E variants per the LB4OMP
+/// taxonomy).
+///
+/// Weighted factoring where the weights are *measured*: each PE's
+/// weight is proportional to its observed execution rate
+/// (tasks completed / time), renormalized to mean 1.  The variants
+/// differ in when the weights refresh and what "time" counts:
+///   AWF    at time-step boundaries (time-stepping applications),
+///   AWF-B  at batch boundaries,        execution time only,
+///   AWF-C  at every chunk completion,  execution time only,
+///   AWF-D  at batch boundaries,        total chunk time (incl. h),
+///   AWF-E  at every chunk completion,  total chunk time (incl. h).
+/// PEs without measurements yet keep weight 1 relative to the measured
+/// average.
+class AdaptiveWeightedFactoring final : public BatchedFactoring {
+ public:
+  AdaptiveWeightedFactoring(const Params& params, Kind variant)
+      : BatchedFactoring(params), variant_(variant) {
+    init_state();
+  }
+
+  Kind kind() const override { return variant_; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    const bool overhead_aware = variant_ == Kind::kAWFD || variant_ == Kind::kAWFE;
+    return kP | kR | (overhead_aware ? kH : 0u);  // plus runtime measurements
+  }
+
+  void on_timestep_boundary() override {
+    if (variant_ == Kind::kAWF) refresh_weights();
+  }
+
+ protected:
+  std::size_t compute_batch_chunk(std::size_t remaining, std::size_t) override {
+    return (remaining + 2 * params().p - 1) / (2 * params().p);
+  }
+  std::size_t scale_for_pe(std::size_t pe, std::size_t base) override {
+    const double scaled = weights_[pe] * static_cast<double>(base);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(scaled)));
+  }
+  void on_batch_boundary() override {
+    if (variant_ == Kind::kAWFB || variant_ == Kind::kAWFD) refresh_weights();
+  }
+  void do_on_chunk_complete(const ChunkFeedback& fb) override {
+    const bool overhead_aware = variant_ == Kind::kAWFD || variant_ == Kind::kAWFE;
+    tasks_done_[fb.pe] += static_cast<double>(fb.size);
+    time_spent_[fb.pe] += fb.exec_time + (overhead_aware ? params().h : 0.0);
+    if (variant_ == Kind::kAWFC || variant_ == Kind::kAWFE) refresh_weights();
+  }
+  void on_factoring_reset() override { init_state(); }
+
+ private:
+  void init_state() {
+    weights_.assign(params().p, 1.0);
+    tasks_done_.assign(params().p, 0.0);
+    time_spent_.assign(params().p, 0.0);
+  }
+
+  void refresh_weights() {
+    const std::size_t p = params().p;
+    std::vector<double> rate(p, 0.0);
+    double rate_sum = 0.0;
+    std::size_t measured = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+      if (time_spent_[i] > 0.0) {
+        rate[i] = tasks_done_[i] / time_spent_[i];
+        rate_sum += rate[i];
+        ++measured;
+      }
+    }
+    if (measured == 0) return;
+    const double mean_rate = rate_sum / static_cast<double>(measured);
+    for (std::size_t i = 0; i < p; ++i) {
+      if (rate[i] == 0.0) rate[i] = mean_rate;  // unmeasured PEs assumed average
+    }
+    const double total = std::accumulate(rate.begin(), rate.end(), 0.0);
+    for (std::size_t i = 0; i < p; ++i) {
+      weights_[i] = rate[i] * static_cast<double>(p) / total;
+    }
+  }
+
+  Kind variant_;
+  std::vector<double> weights_;
+  std::vector<double> tasks_done_;
+  std::vector<double> time_spent_;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_fac(const Params& params) {
+  return std::make_unique<Factoring>(params);
+}
+std::unique_ptr<Technique> make_fac2(const Params& params) {
+  return std::make_unique<Factoring2>(params);
+}
+std::unique_ptr<Technique> make_wf(const Params& params) {
+  return std::make_unique<WeightedFactoring>(params);
+}
+std::unique_ptr<Technique> make_awf(const Params& params, Kind variant) {
+  return std::make_unique<AdaptiveWeightedFactoring>(params, variant);
+}
+
+}  // namespace dls::detail

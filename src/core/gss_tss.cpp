@@ -1,0 +1,100 @@
+// GSS(k) and TSS: the decreasing-chunk techniques developed for uneven
+// PE starting times (paper Section II).
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// GSS(k) -- guided self scheduling (Polychronopoulos & Kuck 1987).
+///
+/// Each request receives ceil(r/p) tasks, where r is the number of
+/// still-unscheduled tasks; the k parameter bounds the chunk from below
+/// (GSS(1) is plain GSS).  The paper's Figures 3-4 evaluate GSS(1),
+/// GSS(5) and GSS(80).
+class GuidedSelfScheduling final : public Technique {
+ public:
+  explicit GuidedSelfScheduling(const Params& params) : Technique(params) {
+    min_chunk_ = std::max<std::size_t>(1, params.gss_min_chunk);
+  }
+
+  Kind kind() const override { return Kind::kGSS; }
+  std::string name() const override {
+    return min_chunk_ == 1 ? "GSS" : "GSS(" + std::to_string(min_chunk_) + ")";
+  }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR;
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t remaining, std::size_t) override {
+    const std::size_t guided = (remaining + params().p - 1) / params().p;
+    return std::max(guided, min_chunk_);
+  }
+
+ private:
+  std::size_t min_chunk_ = 1;
+};
+
+/// TSS(f, l) -- trapezoid self scheduling (Tzen & Ni 1993).
+///
+/// Chunk sizes decrease linearly from the first size f to the last
+/// size l.  With N = ceil(2n/(f+l)) chunks in total, consecutive chunks
+/// differ by delta = (f-l)/(N-1).  The publication's recommended
+/// (conservative) defaults are f = ceil(n/(2p)) and l = 1, selected
+/// here when Params.tss_first/tss_last are left at 0.
+class TrapezoidSelfScheduling final : public Technique {
+ public:
+  explicit TrapezoidSelfScheduling(const Params& params) : Technique(params) {
+    f_ = params.tss_first != 0
+             ? params.tss_first
+             : std::max<std::size_t>(1, (params.n + 2 * params.p - 1) / (2 * params.p));
+    l_ = params.tss_last != 0 ? params.tss_last : 1;
+    if (l_ > f_) {
+      throw std::invalid_argument("TSS: last chunk size l must not exceed first chunk size f");
+    }
+    num_chunks_ = std::max<std::size_t>(1, (2 * params.n + f_ + l_ - 1) / (f_ + l_));
+    delta_ = num_chunks_ > 1 ? static_cast<double>(f_ - l_) / static_cast<double>(num_chunks_ - 1)
+                             : 0.0;
+  }
+
+  Kind kind() const override { return Kind::kTSS; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN | kFirst | kLast;
+  }
+
+  [[nodiscard]] std::size_t first_chunk() const { return f_; }
+  [[nodiscard]] std::size_t last_chunk() const { return l_; }
+  [[nodiscard]] std::size_t planned_chunks() const { return num_chunks_; }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override {
+    const std::size_t i = chunks_issued();
+    const double size = static_cast<double>(f_) - delta_ * static_cast<double>(i);
+    const auto rounded = static_cast<std::size_t>(std::llround(std::max(size, 1.0)));
+    return std::max(rounded, l_);
+  }
+
+ private:
+  std::size_t f_ = 1;
+  std::size_t l_ = 1;
+  std::size_t num_chunks_ = 1;
+  double delta_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_gss(const Params& params) {
+  return std::make_unique<GuidedSelfScheduling>(params);
+}
+std::unique_ptr<Technique> make_tss(const Params& params) {
+  return std::make_unique<TrapezoidSelfScheduling>(params);
+}
+
+}  // namespace dls::detail

@@ -1,0 +1,72 @@
+#include "dls/params.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dls {
+
+std::string to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kStatic: return "STAT";
+    case Kind::kSS: return "SS";
+    case Kind::kCSS: return "CSS";
+    case Kind::kFSC: return "FSC";
+    case Kind::kGSS: return "GSS";
+    case Kind::kTSS: return "TSS";
+    case Kind::kFAC: return "FAC";
+    case Kind::kFAC2: return "FAC2";
+    case Kind::kBOLD: return "BOLD";
+    case Kind::kTAP: return "TAP";
+    case Kind::kWF: return "WF";
+    case Kind::kAWF: return "AWF";
+    case Kind::kAWFB: return "AWF-B";
+    case Kind::kAWFC: return "AWF-C";
+    case Kind::kAWFD: return "AWF-D";
+    case Kind::kAWFE: return "AWF-E";
+    case Kind::kAF: return "AF";
+    case Kind::kMFSC: return "mFSC";
+    case Kind::kTFSS: return "TFSS";
+    case Kind::kRND: return "RND";
+  }
+  throw std::invalid_argument("to_string: bad Kind");
+}
+
+Kind kind_from_string(const std::string& name) {
+  for (Kind k : all_kinds()) {
+    if (to_string(k) == name) return k;
+  }
+  throw std::invalid_argument("unknown DLS technique: " + name);
+}
+
+const std::vector<Kind>& all_kinds() {
+  static const std::vector<Kind> kinds = {
+      Kind::kStatic, Kind::kSS,   Kind::kCSS,  Kind::kFSC,  Kind::kGSS,
+      Kind::kTSS,    Kind::kFAC,  Kind::kFAC2, Kind::kBOLD, Kind::kTAP,
+      Kind::kWF,     Kind::kAWF,  Kind::kAWFB, Kind::kAWFC, Kind::kAWFD,
+      Kind::kAWFE,   Kind::kAF,   Kind::kMFSC, Kind::kTFSS, Kind::kRND};
+  return kinds;
+}
+
+const std::vector<Kind>& bold_publication_kinds() {
+  static const std::vector<Kind> kinds = {Kind::kStatic, Kind::kSS,  Kind::kFSC,
+                                          Kind::kGSS,    Kind::kTSS, Kind::kFAC,
+                                          Kind::kFAC2,   Kind::kBOLD};
+  return kinds;
+}
+
+std::string requires_to_string(unsigned mask) {
+  using namespace requires_bit;
+  static const std::pair<unsigned, const char*> names[] = {
+      {kP, "p"},     {kN, "n"},         {kR, "r"},     {kH, "h"},   {kMu, "mu"},
+      {kSigma, "sigma"}, {kFirst, "f"}, {kLast, "l"},  {kM, "m"}};
+  std::string out;
+  for (const auto& [bit, label] : names) {
+    if (mask & bit) {
+      if (!out.empty()) out += ",";
+      out += label;
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace dls

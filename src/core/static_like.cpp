@@ -1,0 +1,139 @@
+// STAT, SS, CSS(k), and FSC: the techniques whose chunk size is fixed
+// before execution starts (paper Section II).
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// STAT -- static chunking: n/p tasks per PE, assigned once.
+///
+/// "The coarse grained approach is static chunking (STAT), where n/p
+/// chunks of tasks are assigned to each PE before computation starts."
+/// The first p requests receive the p pre-computed blocks (remainder
+/// spread over the first n mod p blocks); any further request finds no
+/// remaining work.
+class StaticChunking final : public Technique {
+ public:
+  explicit StaticChunking(const Params& params) : Technique(params) {}
+
+  Kind kind() const override { return Kind::kStatic; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN;
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override {
+    const std::size_t p = params().p;
+    const std::size_t n = params().n;
+    const std::size_t block = chunks_issued();  // 0-based index of this block
+    if (block >= p) return 0;                    // extra requesters get nothing
+    return n / p + (block < n % p ? 1 : 0);
+  }
+};
+
+/// SS -- (pure) self scheduling: one task at a time.
+///
+/// "The very fine grained approach is self scheduling (SS), where each
+/// of the n tasks is dynamically assigned to an available PE."
+class SelfScheduling final : public Technique {
+ public:
+  explicit SelfScheduling(const Params& params) : Technique(params) {}
+
+  Kind kind() const override { return Kind::kSS; }
+  unsigned required_mask() const override { return 0; }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override { return 1; }
+};
+
+/// CSS(k) -- chunk self scheduling: fixed chunk size k chosen by the
+/// programmer.  The TSS publication's experiments use k = n/p, which is
+/// the default when Params.css_chunk == 0.
+class ChunkSelfScheduling final : public Technique {
+ public:
+  explicit ChunkSelfScheduling(const Params& params) : Technique(params) {
+    k_ = params.css_chunk != 0
+             ? params.css_chunk
+             : std::max<std::size_t>(1, (params.n + params.p - 1) / params.p);
+  }
+
+  Kind kind() const override { return Kind::kCSS; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN;  // only via the default k = n/p; not part of paper Table II
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override { return k_; }
+
+ private:
+  std::size_t k_ = 1;
+};
+
+/// FSC -- fixed size chunking (Kruskal & Weiss 1985).
+///
+/// The analytically optimal fixed chunk size for tasks with mean mu and
+/// standard deviation sigma under per-allocation overhead h:
+///
+///   k_opt = ( sqrt(2) * n * h / (sigma * p * sqrt(ln p)) )^(2/3)
+///
+/// Degenerate inputs fall back to the variance-free optimum n/p:
+/// with sigma = 0 or h = 0 the formula diverges, and its derivation
+/// assumes p >= 2 (ln p > 0).  The result is always clamped to
+/// [1, ceil(n/p)] -- a fixed chunk larger than n/p would leave PEs idle
+/// from the start.
+class FixedSizeChunking final : public Technique {
+ public:
+  explicit FixedSizeChunking(const Params& params) : Technique(params) {
+    const double n = static_cast<double>(params.n);
+    const double p = static_cast<double>(params.p);
+    const std::size_t fair_share =
+        std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(n / p)));
+    if (params.sigma <= 0.0 || params.h <= 0.0 || params.p < 2) {
+      k_ = fair_share;
+      return;
+    }
+    const double raw =
+        std::pow(std::numbers::sqrt2 * n * params.h / (params.sigma * p * std::sqrt(std::log(p))),
+                 2.0 / 3.0);
+    const auto k = static_cast<std::size_t>(std::ceil(raw));
+    k_ = std::clamp<std::size_t>(k, 1, fair_share);
+  }
+
+  Kind kind() const override { return Kind::kFSC; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kN | kH | kSigma;
+  }
+
+  [[nodiscard]] std::size_t chunk_size() const { return k_; }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t, std::size_t) override { return k_; }
+
+ private:
+  std::size_t k_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_static(const Params& params) {
+  return std::make_unique<StaticChunking>(params);
+}
+std::unique_ptr<Technique> make_ss(const Params& params) {
+  return std::make_unique<SelfScheduling>(params);
+}
+std::unique_ptr<Technique> make_css(const Params& params) {
+  return std::make_unique<ChunkSelfScheduling>(params);
+}
+std::unique_ptr<Technique> make_fsc(const Params& params) {
+  return std::make_unique<FixedSizeChunking>(params);
+}
+
+}  // namespace dls::detail

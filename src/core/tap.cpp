@@ -1,0 +1,56 @@
+// TAP -- the taper strategy (Lucco 1992), "a further development of
+// FAC" (paper Section II); one of the techniques the paper defers to
+// future-work verification.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "techniques_internal.hpp"
+
+namespace dls::detail {
+namespace {
+
+/// TAP computes, per request, the fair share T = r/p tapered downward
+/// by a probabilistic margin so that the chunk finishes with high
+/// probability before the ideal per-PE share would:
+///
+///   alpha = v_alpha * (sigma / mu)
+///   K     = T + alpha^2/2 - alpha * sqrt(2T + alpha^2/4)
+///
+/// v_alpha tunes the confidence level (Lucco suggests values around
+/// 1.3 for ~90%).  With sigma = 0 this reduces to GSS's r/p.
+class Taper final : public Technique {
+ public:
+  explicit Taper(const Params& params) : Technique(params) {
+    if (params.mu <= 0.0) throw std::invalid_argument("TAP requires mu > 0");
+    if (params.sigma < 0.0) throw std::invalid_argument("TAP requires sigma >= 0");
+    if (params.tap_v_alpha < 0.0) throw std::invalid_argument("TAP requires v_alpha >= 0");
+    alpha_ = params.tap_v_alpha * params.sigma / params.mu;
+  }
+
+  Kind kind() const override { return Kind::kTAP; }
+  unsigned required_mask() const override {
+    using namespace requires_bit;
+    return kP | kR | kMu | kSigma;
+  }
+
+ protected:
+  std::size_t compute_chunk(const Request&, std::size_t remaining, std::size_t) override {
+    const double t = static_cast<double>(remaining) / static_cast<double>(params().p);
+    const double k =
+        t + alpha_ * alpha_ / 2.0 - alpha_ * std::sqrt(2.0 * t + alpha_ * alpha_ / 4.0);
+    return static_cast<std::size_t>(std::ceil(std::max(k, 1.0)));
+  }
+
+ private:
+  double alpha_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Technique> make_tap(const Params& params) {
+  return std::make_unique<Taper>(params);
+}
+
+}  // namespace dls::detail

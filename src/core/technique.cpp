@@ -1,0 +1,93 @@
+#include "dls/technique.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "techniques_internal.hpp"
+
+namespace dls {
+
+Technique::Technique(const Params& params) : params_(params) {
+  if (params_.p == 0) throw std::invalid_argument("Params.p must be >= 1");
+  if (params_.n == 0) throw std::invalid_argument("Params.n must be >= 1");
+}
+
+std::size_t Technique::next_chunk(const Request& request) {
+  if (request.pe >= params_.p) {
+    throw std::invalid_argument("Request.pe " + std::to_string(request.pe) +
+                                " out of range (p = " + std::to_string(params_.p) + ")");
+  }
+  const std::size_t r = remaining();
+  if (r == 0) return 0;
+  std::size_t size = compute_chunk(request, r, unfinished());
+  size = std::clamp<std::size_t>(size, 1, r);
+  allocated_ += size;
+  ++chunks_issued_;
+  return size;
+}
+
+void Technique::on_chunk_complete(const ChunkFeedback& feedback) {
+  if (feedback.size == 0) return;
+  if (completed_ + feedback.size > allocated_) {
+    throw std::logic_error("on_chunk_complete: more tasks completed than allocated");
+  }
+  completed_ += feedback.size;
+  do_on_chunk_complete(feedback);
+}
+
+void Technique::reclaim(std::size_t size) {
+  if (completed_ + size > allocated_) {
+    throw std::logic_error("reclaim: returning more tasks than are outstanding");
+  }
+  allocated_ -= size;
+}
+
+void Technique::reset() {
+  allocated_ = 0;
+  completed_ = 0;
+  chunks_issued_ = 0;
+  do_reset();
+}
+
+void Technique::start_new_timestep() {
+  allocated_ = 0;
+  completed_ = 0;
+  chunks_issued_ = 0;
+  do_start_timestep();
+  on_timestep_boundary();
+}
+
+std::string Technique::name() const { return to_string(kind()); }
+
+std::unique_ptr<Technique> make_technique(Kind kind, const Params& params) {
+  using namespace detail;
+  switch (kind) {
+    case Kind::kStatic: return make_static(params);
+    case Kind::kSS: return make_ss(params);
+    case Kind::kCSS: return make_css(params);
+    case Kind::kFSC: return make_fsc(params);
+    case Kind::kGSS: return make_gss(params);
+    case Kind::kTSS: return make_tss(params);
+    case Kind::kFAC: return make_fac(params);
+    case Kind::kFAC2: return make_fac2(params);
+    case Kind::kBOLD: return make_bold(params);
+    case Kind::kTAP: return make_tap(params);
+    case Kind::kWF: return make_wf(params);
+    case Kind::kAWF: return make_awf(params, Kind::kAWF);
+    case Kind::kAWFB: return make_awf(params, Kind::kAWFB);
+    case Kind::kAWFC: return make_awf(params, Kind::kAWFC);
+    case Kind::kAWFD: return make_awf(params, Kind::kAWFD);
+    case Kind::kAWFE: return make_awf(params, Kind::kAWFE);
+    case Kind::kAF: return make_af(params);
+    case Kind::kMFSC: return make_mfsc(params);
+    case Kind::kTFSS: return make_tfss(params);
+    case Kind::kRND: return make_rnd(params);
+  }
+  throw std::invalid_argument("make_technique: bad Kind");
+}
+
+std::unique_ptr<Technique> make_technique(const std::string& name, const Params& params) {
+  return make_technique(kind_from_string(name), params);
+}
+
+}  // namespace dls

@@ -1,0 +1,29 @@
+#pragma once
+
+// Internal factory hooks: one constructor function per technique
+// translation unit.  Only technique.cpp includes this header.
+
+#include <memory>
+
+#include "dls/technique.hpp"
+
+namespace dls::detail {
+
+std::unique_ptr<Technique> make_static(const Params& params);
+std::unique_ptr<Technique> make_ss(const Params& params);
+std::unique_ptr<Technique> make_css(const Params& params);
+std::unique_ptr<Technique> make_fsc(const Params& params);
+std::unique_ptr<Technique> make_gss(const Params& params);
+std::unique_ptr<Technique> make_tss(const Params& params);
+std::unique_ptr<Technique> make_fac(const Params& params);
+std::unique_ptr<Technique> make_fac2(const Params& params);
+std::unique_ptr<Technique> make_bold(const Params& params);
+std::unique_ptr<Technique> make_tap(const Params& params);
+std::unique_ptr<Technique> make_wf(const Params& params);
+std::unique_ptr<Technique> make_awf(const Params& params, Kind variant);
+std::unique_ptr<Technique> make_af(const Params& params);
+std::unique_ptr<Technique> make_mfsc(const Params& params);
+std::unique_ptr<Technique> make_tfss(const Params& params);
+std::unique_ptr<Technique> make_rnd(const Params& params);
+
+}  // namespace dls::detail

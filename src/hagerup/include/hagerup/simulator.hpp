@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dls/params.hpp"
+#include "workload/task_times.hpp"
+
+namespace hagerup {
+
+/// Replication of the task-allocation simulator of the BOLD publication
+/// (Hagerup 1997), which produced the "values from original publication"
+/// side of the paper's Figures 5-8.
+///
+/// The simulator is direct (no message passing): each of the p workers
+/// is a (next-free-time) entry in a priority queue; when a worker
+/// becomes free the master immediately computes the next chunk with the
+/// configured DLS technique and the worker executes it.  Task execution
+/// times are drawn with the replicated erand48/nrand48 generator family
+/// ("Task execution times are generated with the aid of the random
+/// number generators erand48 and nrand48", paper Section III-B).
+///
+/// Scheduling overhead: "It was assumed that every scheduling operation
+/// takes a fixed amount of time (parameter h).  This scheduling
+/// overhead for each scheduling operation was added directly to the
+/// simulation times."  With charge_overhead_inline (default), each
+/// allocation occupies the requesting worker for h seconds before the
+/// chunk executes; the alternative adds h * chunks / p to the average
+/// wasted time after the run (the accounting the paper applies to its
+/// SimGrid-MSG experiments), provided for the ablation bench.
+struct Config {
+  dls::Kind technique = dls::Kind::kSS;
+  dls::Params params;  ///< p/n forced from pes/tasks below
+  std::size_t pes = 1;
+  std::size_t tasks = 1;
+  std::shared_ptr<const workload::TaskTimeGenerator> workload;
+  std::uint64_t seed = 42;
+  bool use_rand48 = true;
+  bool charge_overhead_inline = true;
+};
+
+struct RunResult {
+  double makespan = 0.0;
+  double total_work = 0.0;            ///< sum of executed task times
+  std::size_t chunk_count = 0;
+  std::vector<double> compute_time;   ///< per worker
+  std::vector<std::size_t> chunks;    ///< per worker
+  /// Average wasted time of the run: mean over workers of
+  /// (makespan - compute time), which equals idle + overhead per
+  /// worker when overhead is charged inline; plus h*chunks/p otherwise.
+  double avg_wasted_time = 0.0;
+};
+
+/// Run one simulation.  Deterministic in Config (including seed).
+[[nodiscard]] RunResult run(const Config& config);
+
+}  // namespace hagerup

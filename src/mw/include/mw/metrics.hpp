@@ -1,0 +1,41 @@
+#pragma once
+
+#include "mw/config.hpp"
+#include "mw/result.hpp"
+
+namespace mw {
+
+/// The measured values of the reproduced experiments (paper Figure 2:
+/// "Execution Information: Measured Value(s)").
+struct Metrics {
+  /// Average wasted time of the run (paper Sections III-B/IV-B):
+  /// the wasted time of a worker is the overall simulation time minus
+  /// its computation time; the average over workers is taken, and --
+  /// under OverheadMode::kAnalytic -- h times the number of scheduling
+  /// operations is added (divided across workers, matching the
+  /// per-worker overhead accounting of the BOLD publication).
+  double avg_wasted_time = 0.0;
+  /// Speedup r = L*P/(X+O+W) of the TSS publication, which with
+  /// Sum(X+O+W) = P*makespan reduces to total work / makespan.
+  double speedup = 0.0;
+  /// Degree of scheduling overhead Theta = O*P/(X+O+W): the average
+  /// number of PEs wasted in the scheduling state.
+  double overhead_degree = 0.0;
+  /// Degree of load imbalancing Lambda = W*P/(X+O+W): the average
+  /// number of PEs wasted in the waiting state.
+  double imbalance_degree = 0.0;
+  /// Makespan (total simulated time) [s].
+  double makespan = 0.0;
+  /// Number of scheduling operations (chunks).
+  std::size_t chunks = 0;
+};
+
+/// Derive the paper's metrics from a run result.
+///
+/// The per-chunk scheduling cost attributed to a worker (for the
+/// Tzen-Ni Theta metric) is the request/reply round-trip cost plus, in
+/// simulated-overhead mode, the master's h; waiting time is what
+/// remains after computation and scheduling.
+[[nodiscard]] Metrics compute_metrics(const RunResult& result, const Config& config);
+
+}  // namespace mw

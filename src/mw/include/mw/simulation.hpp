@@ -1,0 +1,22 @@
+#pragma once
+
+#include "mw/config.hpp"
+#include "mw/result.hpp"
+
+namespace mw {
+
+/// Execute one master-worker scheduling simulation (paper Figure 1):
+///
+///   * a star platform is built from the Config's system information;
+///   * one master actor and `workers` worker actors are spawned;
+///   * idle workers send work-request messages; the master computes the
+///     next chunk size with the configured DLS technique and replies
+///     with the chunk's aggregate nominal execution time;
+///   * on exhaustion the master sends finalization messages and the
+///     simulation ends.
+///
+/// Deterministic: the same Config (including seed) always produces the
+/// same result.  Throws on invalid configurations.
+[[nodiscard]] RunResult run_simulation(const Config& config);
+
+}  // namespace mw

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mw/result.hpp"
+
+namespace mw {
+
+/// Export the chunk log as CSV (`pe,first,size,issued_at`) for external
+/// plotting -- the "raw data of the experiments" artifact the paper
+/// publishes alongside its figures.  Requires Config::record_chunk_log.
+void write_chunk_csv(const RunResult& result, std::ostream& out);
+
+/// Per-worker utilization derived from the chunk log: the fraction of
+/// the makespan each worker spent executing tasks, plus the per-worker
+/// chunk intervals.
+struct WorkerUtilization {
+  std::size_t pe = 0;
+  double busy_fraction = 0.0;
+  std::size_t chunks = 0;
+  std::size_t tasks = 0;
+};
+[[nodiscard]] std::vector<WorkerUtilization> utilization(const RunResult& result);
+
+/// Render an ASCII Gantt chart of the run from the chunk log: one row
+/// per worker, time binned into `width` columns; a column is drawn
+/// filled ('#') when the worker was executing a chunk for the majority
+/// of that bin, '.' otherwise.  Chunk execution intervals are
+/// reconstructed from consecutive issue times per worker under the
+/// analytic (null network) model, where a worker computes from one
+/// chunk issue to the next request.
+[[nodiscard]] std::string ascii_gantt(const RunResult& result, std::size_t width = 80);
+
+}  // namespace mw

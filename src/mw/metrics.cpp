@@ -1,0 +1,51 @@
+#include "mw/metrics.hpp"
+
+#include <algorithm>
+
+namespace mw {
+
+Metrics compute_metrics(const RunResult& result, const Config& config) {
+  Metrics m;
+  m.makespan = result.makespan;
+  m.chunks = result.chunk_count;
+  const double p = static_cast<double>(config.workers);
+
+  // --- average wasted time (BOLD publication accounting) ---
+  double wasted_sum = 0.0;
+  for (const WorkerStats& w : result.workers) {
+    wasted_sum += result.makespan - w.compute_time;
+  }
+  if (config.overhead_mode == OverheadMode::kAnalytic) {
+    wasted_sum += config.params.h * static_cast<double>(result.chunk_count);
+  }
+  m.avg_wasted_time = wasted_sum / p;
+
+  // --- speedup (TSS publication) ---
+  if (result.makespan > 0.0) m.speedup = result.total_nominal_work / result.makespan;
+
+  // --- degrees of scheduling overhead and load imbalancing ---
+  // Per-chunk cost a worker experiences: the request and reply
+  // transfers plus the master's service time in simulated mode.
+  const double per_message = config.latency;  // star route: one link each way
+  const double transfer =
+      (static_cast<double>(config.request_bytes) + static_cast<double>(config.reply_bytes)) /
+      config.bandwidth;
+  const double service =
+      config.overhead_mode == OverheadMode::kSimulated ? config.params.h : 0.0;
+  const double per_chunk_cost = 2.0 * per_message + transfer + service;
+
+  double overhead_sum = 0.0;
+  double waiting_sum = 0.0;
+  for (const WorkerStats& w : result.workers) {
+    const double o = per_chunk_cost * static_cast<double>(w.chunks);
+    overhead_sum += o;
+    waiting_sum += std::max(0.0, result.makespan - w.compute_time - o);
+  }
+  if (result.makespan > 0.0) {
+    m.overhead_degree = overhead_sum / result.makespan;
+    m.imbalance_degree = waiting_sum / result.makespan;
+  }
+  return m;
+}
+
+}  // namespace mw

@@ -1,0 +1,384 @@
+#include "mw/simulation.hpp"
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dls/technique.hpp"
+#include "simx/engine.hpp"
+#include "simx/mailbox.hpp"
+#include "workload/random_source.hpp"
+
+namespace mw {
+namespace {
+
+/// Work request; doubles as the completion report for the worker's
+/// previous chunk (a worker only asks again once it has finished), and
+/// as the fail-stop announcement when `failed` is set.
+struct WorkRequest {
+  std::size_t worker = 0;
+  std::size_t done_size = 0;      ///< tasks in the completed chunk (0 on first request)
+  double done_exec_time = 0.0;    ///< measured execution time of that chunk
+  bool failed = false;            ///< fail-stop announcement
+  std::size_t failed_size = 0;    ///< outstanding (lost) tasks being returned
+};
+
+/// Chunk assignment; count == 0 is the finalization message.
+struct WorkReply {
+  double work_seconds = 0.0;  ///< aggregate nominal execution time
+  std::size_t count = 0;
+  std::size_t first = 0;      ///< first task index (chunk-log bookkeeping)
+};
+
+/// A contiguous range of unassigned task indices.  The master serves
+/// chunks from a free-list of such ranges so that ranges reclaimed from
+/// failed workers can be re-scheduled.
+struct TaskRange {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
+struct Shared {
+  const Config* config = nullptr;
+  dls::Technique* technique = nullptr;
+  simx::Mailbox<WorkRequest>* master_box = nullptr;
+  std::vector<simx::Mailbox<WorkReply>*> worker_boxes;
+  /// Task times of the current time step (owned by the master).
+  std::vector<double> task_times;
+  workload::RandomSource* rng = nullptr;
+
+  // outputs
+  double total_nominal_work = 0.0;
+  std::size_t chunk_count = 0;
+  std::size_t tasks_reclaimed = 0;
+  std::vector<std::size_t> tasks_per_worker;
+  std::vector<std::size_t> chunks_per_worker;
+  std::vector<bool> worker_failed;
+  std::vector<ChunkLogEntry> chunk_log;
+  /// The sub-ranges of each worker's most recent chunk (a chunk served
+  /// from a fragmented free-list may span several ranges); needed to
+  /// reclaim a failed worker's outstanding tasks exactly.
+  std::vector<std::vector<TaskRange>> last_served;
+};
+
+struct WorkerState {
+  Shared* shared = nullptr;
+  std::size_t id = 0;
+  double failure_time = std::numeric_limits<double>::infinity();
+};
+
+/// Worker actor: request -> receive -> execute, until finalized ("When
+/// it finishes, it sends again a work request message to the master",
+/// paper Section II).  A worker whose fail-stop time arrives announces
+/// the failure together with its unfinished chunk and stops.
+simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
+  Shared& sh = *st.shared;
+  const Config& cfg = *sh.config;
+  WorkRequest request{st.id, 0, 0.0, false, 0};
+  for (;;) {
+    co_await sh.master_box->send_from(ctx, request, cfg.request_bytes);
+    if (request.failed) break;  // announced; the master expects nothing more
+    const WorkReply reply = co_await sh.worker_boxes[st.id]->recv(ctx);
+    if (reply.count == 0) break;
+    // Nominal seconds are defined against the reference speed; the
+    // host's own (possibly slower/faster, possibly time-varying) speed
+    // determines the actual duration.
+    const double flops = reply.work_seconds * cfg.host_speed;
+    const double t0 = ctx.now();
+    if (t0 >= st.failure_time) {
+      // Died while waiting: the whole chunk is lost.
+      request = WorkRequest{st.id, 0, 0.0, true, reply.count};
+      continue;
+    }
+    const double finish = ctx.host().finish_time(t0, flops);
+    if (finish > st.failure_time) {
+      // Dies mid-chunk: burn until the failure instant (the partial
+      // results are lost -- fail-stop), then announce.
+      co_await ctx.compute_for(st.failure_time - t0);
+      request = WorkRequest{st.id, 0, 0.0, true, reply.count};
+      continue;
+    }
+    co_await ctx.execute(flops);
+    request = WorkRequest{st.id, reply.count, ctx.now() - t0, false, 0};
+  }
+}
+
+/// Master-side free-list bookkeeping shared by the serve path.
+class TaskPool {
+ public:
+  void reset(std::size_t n) { ranges_.assign(1, TaskRange{0, n}); }
+  void give_back(TaskRange range) { ranges_.push_back(range); }
+
+  /// Take `count` tasks (possibly spanning reclaimed fragments); sums
+  /// their nominal times and returns the exact sub-ranges taken (so a
+  /// failed chunk can be given back precisely).
+  std::vector<TaskRange> take(std::size_t count, const std::vector<double>& task_times,
+                              double& seconds) {
+    std::vector<TaskRange> taken;
+    std::size_t need = count;
+    seconds = 0.0;
+    while (need > 0) {
+      if (ranges_.empty()) throw std::logic_error("TaskPool: free-list underflow");
+      TaskRange& front = ranges_.front();
+      const std::size_t take_now = std::min(front.count, need);
+      for (std::size_t i = front.first; i < front.first + take_now; ++i) {
+        seconds += task_times[i];
+      }
+      taken.push_back(TaskRange{front.first, take_now});
+      front.first += take_now;
+      front.count -= take_now;
+      need -= take_now;
+      if (front.count == 0) ranges_.pop_front();
+    }
+    return taken;
+  }
+
+ private:
+  std::deque<TaskRange> ranges_;
+};
+
+/// Master actor: serves chunk requests with the DLS technique,
+/// re-schedules chunks reclaimed from failed workers, and distributes
+/// finalization messages at the end (paper Figure 1).
+///
+/// A worker whose request arrives when the current step has no
+/// unscheduled tasks left is "parked": its request stays answered-once
+/// by serving it at the start of the next time step, or by a
+/// finalization message after the last step.
+simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
+  const Config& cfg = *sh.config;
+  dls::Technique& tech = *sh.technique;
+  const std::size_t p = cfg.workers;
+  std::vector<std::size_t> parked;  // workers waiting for the next step
+  std::size_t alive = p;
+  TaskPool pool;
+
+  for (std::size_t step = 0; step < cfg.timesteps; ++step) {
+    if (step > 0) {
+      tech.start_new_timestep();
+      sh.task_times = cfg.workload->generate(cfg.tasks, *sh.rng);
+      for (double t : sh.task_times) sh.total_nominal_work += t;
+    }
+    pool.reset(cfg.tasks);
+    std::size_t completed_tasks = 0;  // completed in this step
+    std::deque<std::size_t> to_serve(parked.begin(), parked.end());
+    parked.clear();
+
+    while (completed_tasks < cfg.tasks) {
+      if (!to_serve.empty()) {
+        const std::size_t worker = to_serve.front();
+        to_serve.pop_front();
+        if (tech.remaining() == 0) {  // an earlier serve may have taken the rest
+          parked.push_back(worker);
+          continue;
+        }
+        if (cfg.overhead_mode == OverheadMode::kSimulated && cfg.params.h > 0.0) {
+          co_await ctx.compute_for(cfg.params.h);
+        }
+        const std::size_t chunk = tech.next_chunk(dls::Request{worker, ctx.now()});
+        double seconds = 0.0;
+        sh.last_served[worker] = pool.take(chunk, sh.task_times, seconds);
+        const std::size_t log_first = sh.last_served[worker].front().first;
+        ++sh.chunk_count;
+        ++sh.chunks_per_worker[worker];
+        sh.tasks_per_worker[worker] += chunk;
+        if (cfg.record_chunk_log) {
+          sh.chunk_log.push_back(ChunkLogEntry{worker, log_first, chunk, ctx.now()});
+        }
+        co_await sh.worker_boxes[worker]->send_from(ctx, WorkReply{seconds, chunk, log_first},
+                                                    cfg.reply_bytes);
+        continue;
+      }
+      const WorkRequest request = co_await sh.master_box->recv(ctx);
+      if (request.failed) {
+        // Fail-stop: reclaim the outstanding chunk and re-schedule it.
+        sh.worker_failed[request.worker] = true;
+        --alive;
+        if (request.failed_size > 0) {
+          // Give the worker's outstanding chunk back to the pool and to
+          // the technique's unscheduled count; the surviving workers
+          // will be handed those tasks again.
+          tech.reclaim(request.failed_size);
+          for (const TaskRange& r : sh.last_served[request.worker]) pool.give_back(r);
+          sh.tasks_per_worker[request.worker] -= request.failed_size;
+          sh.tasks_reclaimed += request.failed_size;
+        }
+        if (alive == 0) {
+          throw std::runtime_error("all workers failed with " +
+                                   std::to_string(cfg.tasks - completed_tasks) +
+                                   " tasks incomplete in step " + std::to_string(step));
+        }
+        continue;
+      }
+      if (request.done_size > 0) {
+        completed_tasks += request.done_size;
+        tech.on_chunk_complete(dls::ChunkFeedback{request.worker, request.done_size,
+                                                  request.done_exec_time, ctx.now()});
+      }
+      if (completed_tasks >= cfg.tasks || tech.remaining() == 0) {
+        parked.push_back(request.worker);
+        continue;  // loop condition ends the step once all tasks confirmed
+      }
+      to_serve.push_back(request.worker);
+    }
+  }
+
+  // All tasks of all steps completed: finalize the parked workers and
+  // drain the final request of every other live worker ("On completion
+  // of all tasks, the master sends finalization messages").
+  std::vector<bool> finalized(p, false);
+  std::size_t finalized_count = 0;
+  for (const std::size_t worker : parked) {
+    finalized[worker] = true;
+    ++finalized_count;
+    co_await sh.worker_boxes[worker]->send_from(ctx, WorkReply{0.0, 0, 0}, cfg.reply_bytes);
+  }
+  while (finalized_count < alive) {
+    const WorkRequest request = co_await sh.master_box->recv(ctx);
+    if (request.failed) {
+      // A failure announced after its last completion: nothing to
+      // reclaim (all tasks are done), the worker just leaves.
+      sh.worker_failed[request.worker] = true;
+      --alive;
+      continue;
+    }
+    if (request.done_size > 0) {
+      tech.on_chunk_complete(dls::ChunkFeedback{request.worker, request.done_size,
+                                                request.done_exec_time, ctx.now()});
+    }
+    if (finalized[request.worker]) {
+      throw std::logic_error("worker " + std::to_string(request.worker) +
+                             " requested after finalization");
+    }
+    finalized[request.worker] = true;
+    ++finalized_count;
+    co_await sh.worker_boxes[request.worker]->send_from(ctx, WorkReply{0.0, 0, 0},
+                                                        cfg.reply_bytes);
+  }
+}
+
+void validate(const Config& cfg) {
+  if (cfg.workers == 0) throw std::invalid_argument("Config.workers must be >= 1");
+  if (cfg.tasks == 0) throw std::invalid_argument("Config.tasks must be >= 1");
+  if (cfg.timesteps == 0) throw std::invalid_argument("Config.timesteps must be >= 1");
+  if (!cfg.workload) throw std::invalid_argument("Config.workload is not set");
+  if (!(cfg.host_speed > 0.0)) throw std::invalid_argument("Config.host_speed must be > 0");
+  if (!cfg.worker_speed_factors.empty() && cfg.worker_speed_factors.size() != cfg.workers) {
+    throw std::invalid_argument("Config.worker_speed_factors size must equal workers");
+  }
+  for (double f : cfg.worker_speed_factors) {
+    if (!(f > 0.0)) throw std::invalid_argument("worker speed factors must be > 0");
+  }
+  if (!cfg.worker_speed_profiles.empty() && cfg.worker_speed_profiles.size() != cfg.workers) {
+    throw std::invalid_argument("Config.worker_speed_profiles size must equal workers");
+  }
+  for (const simx::SpeedProfile& profile : cfg.worker_speed_profiles) profile.validate();
+  if (!cfg.worker_failure_times.empty() && cfg.worker_failure_times.size() != cfg.workers) {
+    throw std::invalid_argument("Config.worker_failure_times size must equal workers");
+  }
+  for (double t : cfg.worker_failure_times) {
+    if (t < 0.0) throw std::invalid_argument("worker failure times must be >= 0");
+  }
+}
+
+}  // namespace
+
+RunResult run_simulation(const Config& config) {
+  validate(config);
+
+  simx::Platform platform;
+  platform.add_host("master", config.host_speed);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    const double factor =
+        config.worker_speed_factors.empty() ? 1.0 : config.worker_speed_factors[i];
+    const std::string host = "w" + std::to_string(i);
+    simx::Host& worker_host = platform.add_host(host, config.host_speed * factor);
+    if (!config.worker_speed_profiles.empty()) {
+      worker_host.set_speed_profile(config.worker_speed_profiles[i]);
+    }
+    platform.add_link("l" + std::to_string(i), config.bandwidth, config.latency);
+    platform.add_route("master", host, {"l" + std::to_string(i)});
+  }
+
+  simx::Engine engine(std::move(platform));
+
+  dls::Params params = config.params;
+  params.p = config.workers;
+  params.n = config.tasks;
+  const auto technique = dls::make_technique(config.technique, params);
+
+  const std::unique_ptr<workload::RandomSource> rng =
+      config.use_rand48
+          ? std::unique_ptr<workload::RandomSource>(std::make_unique<workload::Rand48Source>(
+                static_cast<std::uint32_t>(config.seed)))
+          : std::unique_ptr<workload::RandomSource>(
+                std::make_unique<workload::XoshiroSource>(config.seed));
+
+  Shared shared;
+  shared.config = &config;
+  shared.technique = technique.get();
+  shared.rng = rng.get();
+  shared.tasks_per_worker.assign(config.workers, 0);
+  shared.chunks_per_worker.assign(config.workers, 0);
+  shared.worker_failed.assign(config.workers, false);
+  shared.last_served.assign(config.workers, {});
+  shared.task_times = config.workload->generate(config.tasks, *rng);
+  for (double t : shared.task_times) shared.total_nominal_work += t;
+
+  simx::Mailbox<WorkRequest> master_box(engine, "master", engine.platform().host("master"));
+  shared.master_box = &master_box;
+  std::vector<std::unique_ptr<simx::Mailbox<WorkReply>>> worker_boxes;
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    worker_boxes.push_back(std::make_unique<simx::Mailbox<WorkReply>>(
+        engine, "w" + std::to_string(i), engine.platform().host("w" + std::to_string(i))));
+    shared.worker_boxes.push_back(worker_boxes.back().get());
+  }
+
+  engine.spawn("master", engine.platform().host("master"),
+               [&shared](simx::Context& ctx) { return master_actor(ctx, shared); });
+  std::vector<WorkerState> worker_states(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    worker_states[i].shared = &shared;
+    worker_states[i].id = i;
+    if (!config.worker_failure_times.empty()) {
+      worker_states[i].failure_time = config.worker_failure_times[i];
+    }
+    engine.spawn("worker" + std::to_string(i), engine.platform().host("w" + std::to_string(i)),
+                 [&worker_states, i](simx::Context& ctx) {
+                   return worker_actor(ctx, worker_states[i]);
+                 });
+  }
+
+  const simx::SimTime makespan = engine.run();
+  const std::vector<std::string> stuck = engine.unfinished_actors();
+  if (!stuck.empty()) {
+    throw std::runtime_error("simulation deadlock: actor '" + stuck.front() +
+                             "' never finished");
+  }
+
+  RunResult result;
+  result.makespan = makespan;
+  result.total_nominal_work = shared.total_nominal_work;
+  result.chunk_count = shared.chunk_count;
+  result.tasks_reclaimed = shared.tasks_reclaimed;
+  result.chunk_log = std::move(shared.chunk_log);
+  const std::vector<simx::ActorAccounting> accounting = engine.accounting();
+  result.master_busy_time = accounting.front().computing;
+  result.workers.resize(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    const simx::ActorAccounting& acc = accounting[i + 1];  // spawn order: master first
+    WorkerStats& w = result.workers[i];
+    w.compute_time = acc.computing;
+    w.wait_time = acc.waiting + (makespan - acc.finished_at);  // idle after finalization too
+    w.comm_time = acc.communicating;
+    w.tasks = shared.tasks_per_worker[i];
+    w.chunks = shared.chunks_per_worker[i];
+    w.failed = shared.worker_failed[i];
+  }
+  return result;
+}
+
+}  // namespace mw

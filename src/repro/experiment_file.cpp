@@ -1,0 +1,140 @@
+#include "repro/experiment_file.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "mw/simulation.hpp"
+#include "support/table.hpp"
+#include "workload/task_times.hpp"
+
+namespace repro {
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("experiment line " + std::to_string(line_no) + ": " + message);
+}
+
+double to_double(const std::string& v, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("");
+    return out;
+  } catch (const std::exception&) {
+    parse_error(line_no, "bad number: " + v);
+  }
+}
+
+std::size_t to_size(const std::string& v, std::size_t line_no) {
+  const double d = to_double(v, line_no);
+  if (d < 0.0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
+    parse_error(line_no, "expected a non-negative integer: " + v);
+  }
+  return static_cast<std::size_t>(d);
+}
+
+bool to_bool(const std::string& v, std::size_t line_no) {
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  parse_error(line_no, "expected a boolean: " + v);
+}
+
+}  // namespace
+
+mw::Config parse_experiment(std::string_view text) {
+  mw::Config cfg;
+  cfg.workers = 0;  // force an explicit 'workers' key (Config defaults to 1)
+  bool have_mu = false;
+  bool have_sigma = false;
+
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key, value;
+    if (!(ls >> key)) continue;
+    if (!(ls >> value)) parse_error(line_no, "key '" + key + "' is missing a value");
+    std::string extra;
+    if (ls >> extra) parse_error(line_no, "unexpected trailing token: " + extra);
+
+    if (key == "technique") {
+      try {
+        cfg.technique = dls::kind_from_string(value);
+      } catch (const std::exception& e) {
+        parse_error(line_no, e.what());
+      }
+    } else if (key == "tasks") {
+      cfg.tasks = to_size(value, line_no);
+    } else if (key == "workers") {
+      cfg.workers = to_size(value, line_no);
+    } else if (key == "workload") {
+      try {
+        cfg.workload = workload::from_spec(value);
+      } catch (const std::exception& e) {
+        parse_error(line_no, e.what());
+      }
+    } else if (key == "h") {
+      cfg.params.h = to_double(value, line_no);
+    } else if (key == "mu") {
+      cfg.params.mu = to_double(value, line_no);
+      have_mu = true;
+    } else if (key == "sigma") {
+      cfg.params.sigma = to_double(value, line_no);
+      have_sigma = true;
+    } else if (key == "timesteps") {
+      cfg.timesteps = to_size(value, line_no);
+    } else if (key == "seed") {
+      cfg.seed = to_size(value, line_no);
+    } else if (key == "overhead") {
+      if (value == "analytic") cfg.overhead_mode = mw::OverheadMode::kAnalytic;
+      else if (value == "simulated") cfg.overhead_mode = mw::OverheadMode::kSimulated;
+      else parse_error(line_no, "overhead must be 'analytic' or 'simulated'");
+    } else if (key == "latency") {
+      cfg.latency = to_double(value, line_no);
+    } else if (key == "bandwidth") {
+      cfg.bandwidth = to_double(value, line_no);
+    } else if (key == "css_chunk") {
+      cfg.params.css_chunk = to_size(value, line_no);
+    } else if (key == "gss_min") {
+      cfg.params.gss_min_chunk = to_size(value, line_no);
+    } else if (key == "rand48") {
+      cfg.use_rand48 = to_bool(value, line_no);
+    } else {
+      parse_error(line_no, "unknown key: " + key);
+    }
+  }
+
+  if (!cfg.workload) throw std::invalid_argument("experiment: missing 'workload'");
+  if (cfg.tasks == 0) throw std::invalid_argument("experiment: missing 'tasks'");
+  if (cfg.workers == 0) throw std::invalid_argument("experiment: missing 'workers'");
+  if (!have_mu) cfg.params.mu = cfg.workload->mean();
+  if (!have_sigma) cfg.params.sigma = cfg.workload->stddev();
+  return cfg;
+}
+
+void run_experiment_file(std::string_view text, std::ostream& out) {
+  const mw::Config cfg = parse_experiment(text);
+  const mw::RunResult result = mw::run_simulation(cfg);
+  const mw::Metrics metrics = mw::compute_metrics(result, cfg);
+
+  support::Table table({"measured value", "result"});
+  table.add_row({"technique", dls::to_string(cfg.technique)});
+  table.add_row({"tasks x timesteps", std::to_string(cfg.tasks) + " x " +
+                                          std::to_string(cfg.timesteps)});
+  table.add_row({"workers", std::to_string(cfg.workers)});
+  table.add_row({"workload", cfg.workload->name()});
+  table.add_row({"makespan [s]", support::fmt(metrics.makespan, 4)});
+  table.add_row({"scheduling operations", std::to_string(metrics.chunks)});
+  table.add_row({"average wasted time [s]", support::fmt(metrics.avg_wasted_time, 4)});
+  table.add_row({"speedup", support::fmt(metrics.speedup, 3)});
+  table.add_row({"overhead degree", support::fmt(metrics.overhead_degree, 3)});
+  table.add_row({"imbalance degree", support::fmt(metrics.imbalance_degree, 3)});
+  table.print(out);
+}
+
+}  // namespace repro

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dls/params.hpp"
+#include "stats/summary.hpp"
+#include "support/table.hpp"
+
+namespace repro {
+
+/// The experiment grid of paper Table III: every combination of
+/// n in {1024, 8192, 65536, 524288} and p in {2, 8, 64, 256, 1024},
+/// eight techniques, 1000 runs, exponential task times with mu = 1 s,
+/// sigma = 1 s, scheduling overhead h = 0.5 s.
+struct BoldGrid {
+  std::vector<std::size_t> tasks = {1024, 8192, 65536, 524288};
+  std::vector<std::size_t> pes = {2, 8, 64, 256, 1024};
+};
+[[nodiscard]] BoldGrid bold_grid();
+/// Render Table III (overview of reproducibility experiments).
+[[nodiscard]] support::Table bold_grid_table();
+
+/// Options for one of the Figures 5-8 (fixed n, sweep over p).
+struct BoldOptions {
+  std::size_t tasks = 1024;
+  std::vector<std::size_t> pes = {2, 8, 64, 256, 1024};
+  std::vector<dls::Kind> techniques = dls::bold_publication_kinds();
+  std::size_t runs = 1000;
+  double mu = 1.0;
+  double sigma = 1.0;
+  double h = 0.5;
+  /// Independent seeds for the two sides, mirroring the paper's
+  /// situation (the original publication's seed was not reported).
+  std::uint64_t seed_original = 1000003;
+  std::uint64_t seed_simgrid = 2000003;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// One cell of a Figure 5-8 comparison.
+struct BoldCell {
+  dls::Kind technique{};
+  std::size_t pes = 0;
+  /// Sample mean of the average wasted time over the runs, per side.
+  double original = 0.0;  ///< replicated Hagerup simulator
+  double simgrid = 0.0;   ///< simx master-worker simulation
+  stats::Discrepancy discrepancy{};  ///< simgrid vs original
+  double original_stddev = 0.0;
+  double simgrid_stddev = 0.0;
+};
+
+/// Run the full technique x p grid for one task count; cells are
+/// ordered technique-major in the order of `options.techniques`.
+[[nodiscard]] std::vector<BoldCell> run_bold_experiment(const BoldOptions& options);
+
+/// The per-run average wasted times of the simx side for one
+/// configuration (the series behind paper Figure 9).
+[[nodiscard]] std::vector<double> bold_sim_run_series(const BoldOptions& options,
+                                                      dls::Kind technique, std::size_t pes);
+
+/// Format the four subfigures of a Figure 5-8 as tables:
+/// (a) original values, (b) simulation values, (c) discrepancy,
+/// (d) relative discrepancy [%].
+[[nodiscard]] support::Table bold_values_table(const std::vector<BoldCell>& cells,
+                                               const BoldOptions& options, bool original_side);
+[[nodiscard]] support::Table bold_discrepancy_table(const std::vector<BoldCell>& cells,
+                                                    const BoldOptions& options, bool relative);
+
+}  // namespace repro

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "mw/config.hpp"
+#include "mw/metrics.hpp"
+
+namespace repro {
+
+/// Textual experiment description -- the "Application Information" +
+/// "Execution Information" side of paper Figure 2, complementing the
+/// platform/deployment files of simx.  Format (one `key value` pair per
+/// line, '#' comments):
+///
+///   technique FAC2            # STAT SS CSS FSC GSS TSS FAC FAC2 BOLD ...
+///   tasks     8192
+///   workers   8
+///   workload  exponential:1.0 # see workload::from_spec
+///   h         0.5
+///   mu        1.0             # defaults to the workload mean
+///   sigma     1.0             # defaults to the workload stddev
+///   timesteps 1
+///   seed      42
+///   overhead  analytic        # or: simulated
+///   latency   1e-12
+///   bandwidth 1e21
+///   css_chunk 0
+///   gss_min   1
+///   rand48    false
+///
+/// Unknown keys are an error (a typo must not silently change an
+/// experiment).  Throws std::invalid_argument with a line number.
+[[nodiscard]] mw::Config parse_experiment(std::string_view text);
+
+/// Run the experiment described by `text` and render the measured
+/// values (paper Figure 2: "Measured Value(s)") to `out`.
+void run_experiment_file(std::string_view text, std::ostream& out);
+
+}  // namespace repro

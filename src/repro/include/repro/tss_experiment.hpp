@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bbn/machine_model.hpp"
+#include "dls/params.hpp"
+#include "support/table.hpp"
+
+namespace repro {
+
+/// One curve of paper Figures 3-4: a technique variant with its label
+/// as plotted ("SS", "CSS", "GSS(1)", "GSS(80)", "TSS").
+struct TssSeries {
+  std::string label;
+  dls::Kind kind{};
+  dls::Params params;  ///< knobs only (css_chunk = 0 -> n/p, gss_min_chunk, ...)
+};
+
+/// Options for one of the TSS publication's experiments.
+struct TssOptions {
+  std::size_t tasks = 100000;
+  double task_seconds = 110e-6;  ///< constant workload per task
+  std::vector<std::size_t> pes = {2, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80};
+  std::vector<TssSeries> series;
+  bbn::MachineModel machine;  ///< the "original" (BBN GP-1000) side
+
+  /// SimGrid-MSG side network/overhead guesses ("typical parameters"):
+  /// the paper notes these are a likely source of non-reproduction.
+  double sim_latency = 2e-6;
+  double sim_bandwidth = 100e6;
+  double sim_overhead_h = 1e-6;  ///< master chunk-calculation time
+
+  std::uint64_t seed = 42;
+};
+
+/// Experiment 1 of the TSS publication: 100000 tasks of 110 us;
+/// SS, CSS, GSS(1), GSS(80), TSS (paper Figure 3).
+[[nodiscard]] TssOptions tss_experiment1();
+/// Experiment 2: 10000 tasks of 2 ms; SS, CSS, GSS(1), GSS(5), TSS
+/// (paper Figure 4).
+[[nodiscard]] TssOptions tss_experiment2();
+
+/// One point of a speedup curve.
+struct TssPoint {
+  std::string label;
+  std::size_t pes = 0;
+  double original_speedup = 0.0;  ///< BBN machine model
+  double simgrid_speedup = 0.0;   ///< simx master-worker simulation
+  double original_overhead_degree = 0.0;   ///< Tzen-Ni Theta (original side)
+  double original_imbalance_degree = 0.0;  ///< Tzen-Ni Lambda (original side)
+};
+
+[[nodiscard]] std::vector<TssPoint> run_tss_experiment(const TssOptions& options);
+
+/// Speedup-vs-PEs table with one column pair (original, simgrid) per
+/// series -- the data behind Figures 3a/3b (or 4a/4b).
+[[nodiscard]] support::Table tss_speedup_table(const std::vector<TssPoint>& points,
+                                               const TssOptions& options);
+
+}  // namespace repro

@@ -1,0 +1,122 @@
+#include "repro/tss_experiment.hpp"
+
+#include <stdexcept>
+
+#include "mw/metrics.hpp"
+#include "mw/simulation.hpp"
+#include "workload/task_times.hpp"
+
+namespace repro {
+namespace {
+
+std::vector<TssSeries> tss_series(std::size_t gss_k) {
+  std::vector<TssSeries> series;
+  series.push_back({"SS", dls::Kind::kSS, {}});
+  series.push_back({"CSS", dls::Kind::kCSS, {}});  // css_chunk = 0 -> k = n/p
+  {
+    TssSeries gss1{"GSS(1)", dls::Kind::kGSS, {}};
+    gss1.params.gss_min_chunk = 1;
+    series.push_back(gss1);
+  }
+  {
+    TssSeries gssk{"GSS(" + std::to_string(gss_k) + ")", dls::Kind::kGSS, {}};
+    gssk.params.gss_min_chunk = gss_k;
+    series.push_back(gssk);
+  }
+  series.push_back({"TSS", dls::Kind::kTSS, {}});
+  return series;
+}
+
+}  // namespace
+
+TssOptions tss_experiment1() {
+  TssOptions options;
+  options.tasks = 100000;
+  options.task_seconds = 110e-6;
+  options.series = tss_series(80);
+  return options;
+}
+
+TssOptions tss_experiment2() {
+  TssOptions options;
+  options.tasks = 10000;
+  options.task_seconds = 2e-3;
+  options.series = tss_series(5);
+  return options;
+}
+
+std::vector<TssPoint> run_tss_experiment(const TssOptions& options) {
+  if (options.series.empty()) throw std::invalid_argument("TssOptions.series is empty");
+  std::vector<TssPoint> points;
+  const auto workload = std::shared_ptr<const workload::TaskTimeGenerator>(
+      workload::constant(options.task_seconds));
+
+  for (const TssSeries& series : options.series) {
+    for (const std::size_t pes : options.pes) {
+      TssPoint point;
+      point.label = series.label;
+      point.pes = pes;
+
+      // Original side: the BBN GP-1000 machine model.
+      bbn::Config bcfg;
+      bcfg.technique = series.kind;
+      bcfg.params = series.params;
+      bcfg.pes = pes;
+      bcfg.tasks = options.tasks;
+      bcfg.workload = workload;
+      bcfg.machine = options.machine;
+      bcfg.seed = options.seed;
+      const bbn::RunResult bres = bbn::run(bcfg);
+      point.original_speedup = bres.speedup;
+      point.original_overhead_degree = bres.overhead_degree;
+      point.original_imbalance_degree = bres.imbalance_degree;
+
+      // SimGrid-MSG side: explicit master-worker with guessed network.
+      mw::Config mcfg;
+      mcfg.technique = series.kind;
+      mcfg.params = series.params;
+      mcfg.params.h = options.sim_overhead_h;
+      mcfg.workers = pes;
+      mcfg.tasks = options.tasks;
+      mcfg.workload = workload;
+      mcfg.latency = options.sim_latency;
+      mcfg.bandwidth = options.sim_bandwidth;
+      mcfg.overhead_mode = mw::OverheadMode::kSimulated;
+      mcfg.seed = options.seed;
+      const mw::RunResult mres = mw::run_simulation(mcfg);
+      point.simgrid_speedup = mw::compute_metrics(mres, mcfg).speedup;
+
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+support::Table tss_speedup_table(const std::vector<TssPoint>& points,
+                                 const TssOptions& options) {
+  std::vector<std::string> header = {"PEs"};
+  for (const TssSeries& s : options.series) {
+    header.push_back(s.label + " orig");
+    header.push_back(s.label + " sim");
+  }
+  support::Table table(std::move(header));
+  for (const std::size_t pes : options.pes) {
+    std::vector<std::string> row = {std::to_string(pes)};
+    for (const TssSeries& s : options.series) {
+      const TssPoint* found = nullptr;
+      for (const TssPoint& p : points) {
+        if (p.pes == pes && p.label == s.label) {
+          found = &p;
+          break;
+        }
+      }
+      if (found == nullptr) throw std::logic_error("missing TSS point " + s.label);
+      row.push_back(support::fmt(found->original_speedup, 1));
+      row.push_back(support::fmt(found->simgrid_speedup, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace repro

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dls/params.hpp"
+#include "dls/technique.hpp"
+
+namespace runtime {
+
+/// Per-loop execution statistics of the native executor.
+struct LoopStats {
+  std::size_t chunks = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::size_t> tasks_per_thread;
+  std::vector<std::size_t> chunks_per_thread;
+  std::vector<double> busy_seconds_per_thread;
+};
+
+/// Native (non-simulated) self-scheduling loop executor: the deployment
+/// form of the verified DLS techniques, in the spirit of OpenMP's
+/// `schedule(runtime)` runtimes.
+///
+/// Worker threads request chunks of the iteration space [0, n) from a
+/// shared dispatcher guarded by a mutex; the dispatcher consults the
+/// configured dls::Technique, and measured chunk execution times are
+/// fed back so the adaptive techniques (AWF-*, AF) work natively too.
+///
+/// The executor is reusable across loops: re-running with the same
+/// iteration count starts a new *time step* (adaptive state persists,
+/// exactly as in the simulated master-worker application); changing the
+/// iteration count rebuilds the technique from scratch.
+class DlsLoopExecutor {
+ public:
+  struct Options {
+    dls::Kind technique = dls::Kind::kFAC2;
+    /// Table I parameters; p is forced to the thread count and n to the
+    /// loop's iteration count.
+    dls::Params params;
+    /// 0 = hardware concurrency.
+    unsigned threads = 0;
+  };
+
+  explicit DlsLoopExecutor(Options options);
+  ~DlsLoopExecutor();
+  DlsLoopExecutor(const DlsLoopExecutor&) = delete;
+  DlsLoopExecutor& operator=(const DlsLoopExecutor&) = delete;
+
+  /// Execute `body(begin, end)` for consecutive chunks covering [0, n).
+  /// Each chunk runs on exactly one thread; chunks never overlap.  The
+  /// first exception thrown by any chunk aborts the remaining
+  /// dispatches (already-running chunks finish) and is rethrown here.
+  LoopStats run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Convenience: per-index body.
+  LoopStats run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  [[nodiscard]] dls::Kind technique() const { return options_.technique; }
+
+ private:
+  Options options_;
+  unsigned threads_;
+  std::unique_ptr<dls::Technique> technique_;
+  std::size_t technique_n_ = 0;
+};
+
+/// One-shot convenience wrapper.
+LoopStats parallel_for_dls(dls::Kind technique, std::size_t n,
+                           const std::function<void(std::size_t)>& body, unsigned threads = 0,
+                           const dls::Params& params = {});
+
+}  // namespace runtime

@@ -1,0 +1,154 @@
+#include "simx/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace simx {
+
+Actor::~Actor() {
+  if (handle_) handle_.destroy();
+}
+
+void Actor::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  detail::ActorControl* control = h.promise().control;
+  if (control != nullptr) {
+    control->finished = true;
+    control->finished_at = control->engine->now();
+    control->set_state(ActorState::kDone, control->finished_at);
+  }
+  // Remain suspended at the final point; the owning ActorControl
+  // destroys the frame in ~Engine.
+}
+
+TimedSuspend::TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
+                           ActorState during)
+    : engine_(&engine), control_(&control), wake_at_(wake_at), during_(during) {
+  if (wake_at_ < engine_->now()) {
+    throw std::logic_error("TimedSuspend: wake-up time lies in the past");
+  }
+}
+
+bool TimedSuspend::await_ready() const noexcept {
+  // Zero-duration activities complete immediately without suspension.
+  return wake_at_ <= engine_->now();
+}
+
+void TimedSuspend::await_suspend(std::coroutine_handle<> handle) const {
+  control_->set_state(during_, engine_->now());
+  engine_->schedule_resume(wake_at_, handle);
+}
+
+void TimedSuspend::await_resume() const {
+  if (control_->state != ActorState::kReady) {
+    control_->set_state(ActorState::kReady, engine_->now());
+  }
+}
+
+SimTime Context::now() const { return engine_->now(); }
+
+TimedSuspend Context::execute(double flops) const {
+  const SimTime end = host().finish_time(now(), flops);
+  return TimedSuspend(*engine_, *control_, end, ActorState::kComputing);
+}
+
+TimedSuspend Context::compute_for(SimTime duration) const {
+  if (duration < 0.0) throw std::invalid_argument("compute_for: negative duration");
+  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kComputing);
+}
+
+TimedSuspend Context::sleep_for(SimTime duration) const {
+  if (duration < 0.0) throw std::invalid_argument("sleep_for: negative duration");
+  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kSleeping);
+}
+
+TimedSuspend Context::sleep_until(SimTime t) const {
+  return TimedSuspend(*engine_, *control_, t, ActorState::kSleeping);
+}
+
+Engine::~Engine() {
+  for (auto& control : actors_) {
+    if (control->handle) control->handle.destroy();
+  }
+}
+
+Context& Engine::spawn(std::string name, Host& host,
+                       const std::function<Actor(Context&)>& body) {
+  auto control = std::make_unique<detail::ActorControl>();
+  control->name = std::move(name);
+  control->host = &host;
+  control->engine = this;
+  control->last_transition = now_;
+  control->context = std::make_unique<Context>(*this, *control);
+  Actor actor = body(*control->context);
+  control->handle = actor.release();
+  control->handle.promise().control = control.get();
+  schedule_resume(now_, control->handle);
+  actors_.push_back(std::move(control));
+  return *actors_.back()->context;
+}
+
+SimTime Engine::run() {
+  if (running_) throw std::logic_error("Engine::run is not reentrant");
+  running_ = true;
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    if (event.mailbox != nullptr) {
+      event.mailbox->on_deliver();
+    } else if (event.resume && !event.resume.done()) {
+      event.resume.resume();
+    }
+  }
+  running_ = false;
+  for (const auto& control : actors_) {
+    if (control->exception) std::rethrow_exception(control->exception);
+  }
+  return now_;
+}
+
+std::vector<std::string> Engine::unfinished_actors() const {
+  std::vector<std::string> names;
+  for (const auto& control : actors_) {
+    if (!control->finished) names.push_back(control->name);
+  }
+  return names;
+}
+
+std::vector<ActorAccounting> Engine::accounting() const {
+  std::vector<ActorAccounting> out;
+  out.reserve(actors_.size());
+  for (const auto& control : actors_) {
+    ActorAccounting acc;
+    acc.name = control->name;
+    acc.host = control->host->name();
+    acc.finished = control->finished;
+    acc.finished_at = control->finished_at;
+    auto time_in = [&](ActorState s) {
+      double t = control->time_in(s);
+      if (control->state == s) t += now_ - control->last_transition;
+      return t;
+    };
+    acc.computing = time_in(ActorState::kComputing);
+    acc.communicating = time_in(ActorState::kCommunicating);
+    acc.sleeping = time_in(ActorState::kSleeping);
+    acc.waiting = time_in(ActorState::kWaitingRecv);
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+void Engine::schedule_resume(SimTime t, std::coroutine_handle<> handle) {
+  push_event(Event{t, next_sequence(), handle, nullptr});
+}
+
+void Engine::schedule_delivery(SimTime t, MailboxBase& mailbox) {
+  push_event(Event{t, next_sequence(), {}, &mailbox});
+}
+
+void Engine::push_event(Event event) {
+  if (event.time < now_) throw std::logic_error("event scheduled in the past");
+  events_.push(event);
+}
+
+}  // namespace simx

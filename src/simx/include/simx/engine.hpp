@@ -1,0 +1,241 @@
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "simx/platform.hpp"
+
+namespace simx {
+
+class Engine;
+class Context;
+class MailboxBase;
+
+/// What a simulated actor is doing; the engine accounts virtual time
+/// per state, which is the raw material of every metric in the paper
+/// (compute time, idle/waiting time, communication time).
+enum class ActorState : std::size_t {
+  kReady = 0,        ///< runnable (zero virtual time is spent here)
+  kComputing,        ///< inside execute()/compute_for()
+  kCommunicating,    ///< inside a blocking send()
+  kSleeping,         ///< inside sleep_for()/sleep_until()
+  kWaitingRecv,      ///< blocked in recv() -- idle time
+  kDone,             ///< actor body returned
+};
+inline constexpr std::size_t kActorStateCount = 6;
+
+/// Coroutine return type for actor bodies.  An actor body is a C++20
+/// coroutine `simx::Actor body(simx::Context& ctx)` that co_awaits the
+/// Context's activities; this mirrors the MSG process functions of the
+/// paper's Figure 1 master-worker model.
+class Actor {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Actor(Actor&& other) noexcept : handle_(other.handle_) { other.handle_ = {}; }
+  Actor& operator=(Actor&&) = delete;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+  ~Actor();
+
+ private:
+  friend class Engine;
+  explicit Actor(Handle handle) : handle_(handle) {}
+  [[nodiscard]] Handle release() {
+    Handle h = handle_;
+    handle_ = {};
+    return h;
+  }
+  Handle handle_;
+};
+
+namespace detail {
+
+/// Engine-side bookkeeping for one actor.
+struct ActorControl {
+  std::string name;
+  Host* host = nullptr;
+  Actor::Handle handle;
+  std::unique_ptr<Context> context;
+  Engine* engine = nullptr;
+  std::exception_ptr exception;
+  bool finished = false;
+  SimTime finished_at = 0.0;
+
+  ActorState state = ActorState::kReady;
+  SimTime last_transition = 0.0;
+  std::array<double, kActorStateCount> accrued{};
+
+  void set_state(ActorState next, SimTime now) {
+    accrued[static_cast<std::size_t>(state)] += now - last_transition;
+    state = next;
+    last_transition = now;
+  }
+  [[nodiscard]] double time_in(ActorState s) const {
+    return accrued[static_cast<std::size_t>(s)];
+  }
+};
+
+}  // namespace detail
+
+struct Actor::promise_type {
+  detail::ActorControl* control = nullptr;
+
+  Actor get_return_object() { return Actor{Handle::from_promise(*this)}; }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    void await_suspend(Handle h) noexcept;
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() {
+    if (control != nullptr) control->exception = std::current_exception();
+  }
+};
+
+/// Per-actor accounting snapshot (see Engine::accounting()).
+struct ActorAccounting {
+  std::string name;
+  std::string host;
+  bool finished = false;
+  SimTime finished_at = 0.0;
+  double computing = 0.0;
+  double communicating = 0.0;
+  double sleeping = 0.0;
+  double waiting = 0.0;
+};
+
+/// Awaitable that suspends the current actor until a fixed virtual
+/// time, accounting the waiting period to a given state.  Building
+/// block for execute/sleep/send.
+class TimedSuspend {
+ public:
+  TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
+               ActorState during);
+
+  [[nodiscard]] bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> handle) const;
+  void await_resume() const;
+
+ private:
+  Engine* engine_;
+  detail::ActorControl* control_;
+  SimTime wake_at_;
+  ActorState during_;
+};
+
+/// The per-actor API surface (analog of the MSG process functions).
+/// A Context is created by Engine::spawn and passed to the actor body;
+/// all of its awaitables must be co_awaited from that actor.
+class Context {
+ public:
+  Context(Engine& engine, detail::ActorControl& control)
+      : engine_(&engine), control_(&control) {}
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] Host& host() const { return *control_->host; }
+  [[nodiscard]] const std::string& name() const { return control_->name; }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+
+  /// Execute `flops` of work on this actor's host (MSG_task_execute).
+  [[nodiscard]] TimedSuspend execute(double flops) const;
+  /// Occupy the host for a fixed virtual duration (models constant
+  /// per-operation costs such as the scheduling overhead h).
+  [[nodiscard]] TimedSuspend compute_for(SimTime duration) const;
+  [[nodiscard]] TimedSuspend sleep_for(SimTime duration) const;
+  [[nodiscard]] TimedSuspend sleep_until(SimTime t) const;
+
+  [[nodiscard]] detail::ActorControl& control() const { return *control_; }
+
+ private:
+  Engine* engine_;
+  detail::ActorControl* control_;
+};
+
+/// Base for typed mailboxes; the engine delivers in-flight messages
+/// through this interface.
+class MailboxBase {
+ public:
+  virtual ~MailboxBase() = default;
+  MailboxBase(const MailboxBase&) = delete;
+  MailboxBase& operator=(const MailboxBase&) = delete;
+
+ protected:
+  MailboxBase() = default;
+
+ private:
+  friend class Engine;
+  /// Called at the virtual time a message becomes visible.
+  virtual void on_deliver() = 0;
+};
+
+/// Discrete-event simulation engine: virtual clock + event heap +
+/// coroutine actors.  Single-threaded by design; experiments run many
+/// engines concurrently (one per run) via support::parallel_for.
+class Engine {
+ public:
+  explicit Engine(Platform platform) : platform_(std::move(platform)) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] Platform& platform() { return platform_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Create an actor on `host`; its body starts when run() is called
+  /// (or immediately at the current virtual time if spawned mid-run).
+  Context& spawn(std::string name, Host& host, const std::function<Actor(Context&)>& body);
+
+  /// Run until no events remain.  Rethrows the first actor exception.
+  /// Returns the final virtual time (the makespan when all actors end).
+  SimTime run();
+
+  /// Actors that have not finished (e.g. blocked in recv forever).
+  [[nodiscard]] std::vector<std::string> unfinished_actors() const;
+  /// Per-actor accounting, in spawn order.  Unfinished actors accrue
+  /// their current state up to now().
+  [[nodiscard]] std::vector<ActorAccounting> accounting() const;
+
+  /// --- engine-internal API used by awaitables and mailboxes ---
+  void schedule_resume(SimTime t, std::coroutine_handle<> handle);
+  void schedule_delivery(SimTime t, MailboxBase& mailbox);
+  [[nodiscard]] std::uint64_t next_sequence() { return sequence_++; }
+
+ private:
+  struct Event {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> resume{};  // valid for resume events
+    MailboxBase* mailbox = nullptr;    // valid for delivery events
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(Event event);
+
+  Platform platform_;
+  SimTime now_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<detail::ActorControl>> actors_;
+  bool running_ = false;
+};
+
+}  // namespace simx

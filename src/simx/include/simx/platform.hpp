@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simx {
+
+/// Simulated (virtual) time in seconds, as in SimGrid.
+using SimTime = double;
+
+/// A piecewise-constant host speed profile: segment i is active from
+/// time_points[i] until time_points[i+1] (the last segment extends to
+/// infinity).  Profiles model the systemic variability (perturbations,
+/// slowdowns, stopped hosts) studied in the robustness/resilience work
+/// the paper builds on.
+struct SpeedProfile {
+  std::vector<SimTime> time_points;  ///< ascending, first must be 0
+  std::vector<double> speeds;        ///< flops/s; zero = host stopped
+
+  /// Validates invariants; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// A processing element of the simulated platform (paper Figure 2:
+/// "Hosts: Speed, Number of Cores").  A PE in this work is a single
+/// computing core (paper Section II).
+class Host {
+ public:
+  Host(std::string name, double speed_flops, std::size_t index);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Nominal speed in flops/s (the first profile segment).
+  [[nodiscard]] double speed() const;
+  [[nodiscard]] std::size_t index() const { return index_; }
+
+  /// Replace the constant speed with a piecewise profile.
+  void set_speed_profile(SpeedProfile profile);
+  [[nodiscard]] const SpeedProfile& profile() const { return profile_; }
+
+  /// Virtual time at which `flops` of work started at `start` completes,
+  /// integrating the speed profile.  Throws std::runtime_error if the
+  /// host's remaining capacity is zero forever (work can never finish).
+  [[nodiscard]] SimTime finish_time(SimTime start, double flops) const;
+
+ private:
+  std::string name_;
+  std::size_t index_;
+  SpeedProfile profile_;
+};
+
+/// A network link with a latency/bandwidth cost model (paper Figure 2:
+/// "Network: Bandwidth, Latency, Topology").
+struct Link {
+  std::string name;
+  double bandwidth = 0.0;  ///< bytes/s
+  SimTime latency = 0.0;   ///< seconds
+};
+
+/// The simulated system: hosts, links and routes.  This is the in-memory
+/// form of the paper's "SimGrid-MSG platform file"; parse_platform()
+/// reads the textual form.
+///
+/// Message cost model: a transfer of b bytes along a route traverses all
+/// its links store-free, costing sum(latencies) + b / min(bandwidths).
+/// This is a documented simplification of SimGrid's flow model; the
+/// reproduced experiments either null out the network (BOLD study:
+/// "bandwidth to a very high value and the latency to a very low value")
+/// or use a star topology where the simple model is exact per message.
+class Platform {
+ public:
+  Platform() = default;
+  Platform(Platform&&) noexcept = default;
+  Platform& operator=(Platform&&) noexcept = default;
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  Host& add_host(const std::string& name, double speed_flops);
+  Link& add_link(const std::string& name, double bandwidth, SimTime latency);
+  /// Register a bidirectional route between two hosts over the named
+  /// links.  Re-registering a pair overwrites the previous route.
+  void add_route(const std::string& host_a, const std::string& host_b,
+                 const std::vector<std::string>& link_names);
+
+  [[nodiscard]] Host& host(std::string_view name);
+  [[nodiscard]] const Host& host(std::string_view name) const;
+  [[nodiscard]] bool has_host(std::string_view name) const;
+  [[nodiscard]] Link& link(std::string_view name);
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] Host& host_at(std::size_t index) { return *hosts_.at(index); }
+
+  /// Time to move `bytes` from `src` to `dst`.  Same-host transfers are
+  /// free.  Throws std::runtime_error if no route is registered.
+  [[nodiscard]] SimTime comm_time(const Host& src, const Host& dst, std::size_t bytes) const;
+
+ private:
+  struct RouteCost {
+    SimTime latency = 0.0;
+    double bandwidth = 0.0;
+  };
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> route_key(const Host& a, const Host& b);
+
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::map<std::string, std::size_t, std::less<>> host_by_name_;
+  std::map<std::string, std::size_t, std::less<>> link_by_name_;
+  std::map<std::pair<std::size_t, std::size_t>, RouteCost> routes_;
+};
+
+/// Convenience constructors for the topologies used by the experiments.
+
+/// Star platform of paper Figure 1: one "master" host plus `workers`
+/// hosts "w0".."w<n-1>", each connected to the master by a private link
+/// with the given bandwidth/latency.  All hosts run at `speed` flops/s.
+[[nodiscard]] Platform make_star_platform(std::size_t workers, double speed, double bandwidth,
+                                          SimTime latency);
+
+/// The BOLD-reproduction platform: a star whose network is effectively
+/// free ("setting the network parameters bandwidth to a very high value
+/// and the latency to a very low value.  This simulates no costs for
+/// communication", paper Section III-B).
+[[nodiscard]] Platform make_null_network_platform(std::size_t workers, double speed = 1e9);
+
+/// Parse the textual platform description (the analog of the paper's
+/// SimGrid platform file):
+///
+///   # comment
+///   host <name> speed=<flops> [profile=<t0>:<s0>,<t1>:<s1>,...]
+///   link <name> bandwidth=<bytes/s> latency=<s>
+///   route <hostA> <hostB> <link> [<link>...]
+///
+/// Throws std::invalid_argument with a line number on malformed input.
+[[nodiscard]] Platform parse_platform(std::string_view text);
+
+/// A deployment maps actor functions to hosts with string arguments
+/// (the analog of the paper's SimGrid-MSG deployment file):
+///
+///   actor <host> <function> [arg...]
+struct DeploymentEntry {
+  std::string host;
+  std::string function;
+  std::vector<std::string> args;
+};
+[[nodiscard]] std::vector<DeploymentEntry> parse_deployment(std::string_view text);
+
+}  // namespace simx

@@ -1,0 +1,275 @@
+#include "simx/platform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace simx {
+
+void SpeedProfile::validate() const {
+  if (time_points.empty() || time_points.size() != speeds.size()) {
+    throw std::invalid_argument("SpeedProfile: need equally many time points and speeds (>= 1)");
+  }
+  if (time_points.front() != 0.0) {
+    throw std::invalid_argument("SpeedProfile: first time point must be 0");
+  }
+  for (std::size_t i = 1; i < time_points.size(); ++i) {
+    if (!(time_points[i] > time_points[i - 1])) {
+      throw std::invalid_argument("SpeedProfile: time points must be strictly ascending");
+    }
+  }
+  for (double s : speeds) {
+    if (s < 0.0 || !std::isfinite(s)) {
+      throw std::invalid_argument("SpeedProfile: speeds must be finite and >= 0");
+    }
+  }
+}
+
+Host::Host(std::string name, double speed_flops, std::size_t index)
+    : name_(std::move(name)), index_(index) {
+  if (!(speed_flops > 0.0)) throw std::invalid_argument("Host: speed must be > 0");
+  profile_.time_points = {0.0};
+  profile_.speeds = {speed_flops};
+}
+
+double Host::speed() const { return profile_.speeds.front(); }
+
+void Host::set_speed_profile(SpeedProfile profile) {
+  profile.validate();
+  profile_ = std::move(profile);
+}
+
+SimTime Host::finish_time(SimTime start, double flops) const {
+  if (flops <= 0.0) return start;
+  // Locate the active segment, then consume capacity segment by segment.
+  std::size_t seg = 0;
+  while (seg + 1 < profile_.time_points.size() && profile_.time_points[seg + 1] <= start) ++seg;
+  SimTime t = start;
+  double remaining = flops;
+  for (;;) {
+    const double speed = profile_.speeds[seg];
+    const bool last = seg + 1 == profile_.time_points.size();
+    const SimTime seg_end = last ? std::numeric_limits<SimTime>::infinity()
+                                 : profile_.time_points[seg + 1];
+    if (speed > 0.0) {
+      const SimTime need = remaining / speed;
+      if (t + need <= seg_end) return t + need;
+      remaining -= speed * (seg_end - t);
+    }
+    if (last) {
+      throw std::runtime_error("Host '" + name_ +
+                               "': work cannot finish (zero speed to infinity)");
+    }
+    t = seg_end;
+    ++seg;
+  }
+}
+
+Host& Platform::add_host(const std::string& name, double speed_flops) {
+  if (host_by_name_.contains(name)) throw std::invalid_argument("duplicate host: " + name);
+  hosts_.push_back(std::make_unique<Host>(name, speed_flops, hosts_.size()));
+  host_by_name_.emplace(name, hosts_.size() - 1);
+  return *hosts_.back();
+}
+
+Link& Platform::add_link(const std::string& name, double bandwidth, SimTime latency) {
+  if (link_by_name_.contains(name)) throw std::invalid_argument("duplicate link: " + name);
+  if (!(bandwidth > 0.0)) throw std::invalid_argument("link bandwidth must be > 0");
+  if (latency < 0.0) throw std::invalid_argument("link latency must be >= 0");
+  links_.push_back(std::make_unique<Link>(Link{name, bandwidth, latency}));
+  link_by_name_.emplace(name, links_.size() - 1);
+  return *links_.back();
+}
+
+std::pair<std::size_t, std::size_t> Platform::route_key(const Host& a, const Host& b) {
+  return {std::min(a.index(), b.index()), std::max(a.index(), b.index())};
+}
+
+void Platform::add_route(const std::string& host_a, const std::string& host_b,
+                         const std::vector<std::string>& link_names) {
+  if (link_names.empty()) throw std::invalid_argument("route needs at least one link");
+  RouteCost cost;
+  cost.bandwidth = std::numeric_limits<double>::infinity();
+  for (const std::string& ln : link_names) {
+    const Link& l = link(ln);
+    cost.latency += l.latency;
+    cost.bandwidth = std::min(cost.bandwidth, l.bandwidth);
+  }
+  routes_[route_key(host(host_a), host(host_b))] = cost;
+}
+
+Host& Platform::host(std::string_view name) {
+  auto it = host_by_name_.find(name);
+  if (it == host_by_name_.end()) {
+    throw std::invalid_argument("unknown host: " + std::string(name));
+  }
+  return *hosts_[it->second];
+}
+
+const Host& Platform::host(std::string_view name) const {
+  auto it = host_by_name_.find(name);
+  if (it == host_by_name_.end()) {
+    throw std::invalid_argument("unknown host: " + std::string(name));
+  }
+  return *hosts_[it->second];
+}
+
+bool Platform::has_host(std::string_view name) const { return host_by_name_.contains(name); }
+
+Link& Platform::link(std::string_view name) {
+  auto it = link_by_name_.find(name);
+  if (it == link_by_name_.end()) {
+    throw std::invalid_argument("unknown link: " + std::string(name));
+  }
+  return *links_[it->second];
+}
+
+SimTime Platform::comm_time(const Host& src, const Host& dst, std::size_t bytes) const {
+  if (src.index() == dst.index()) return 0.0;
+  auto it = routes_.find(route_key(src, dst));
+  if (it == routes_.end()) {
+    throw std::runtime_error("no route between '" + src.name() + "' and '" + dst.name() + "'");
+  }
+  return it->second.latency + static_cast<double>(bytes) / it->second.bandwidth;
+}
+
+Platform make_star_platform(std::size_t workers, double speed, double bandwidth,
+                            SimTime latency) {
+  Platform p;
+  p.add_host("master", speed);
+  for (std::size_t i = 0; i < workers; ++i) {
+    const std::string host = "w" + std::to_string(i);
+    const std::string link = "l" + std::to_string(i);
+    p.add_host(host, speed);
+    p.add_link(link, bandwidth, latency);
+    p.add_route("master", host, {link});
+  }
+  return p;
+}
+
+Platform make_null_network_platform(std::size_t workers, double speed) {
+  // "Very high" bandwidth and "very low" latency per paper Section III-B;
+  // the values below make every message cost ~1e-12 s, far below any
+  // task or overhead time scale in the reproduced experiments.
+  return make_star_platform(workers, speed, /*bandwidth=*/1e21, /*latency=*/1e-12);
+}
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line_no) + ": " + message);
+}
+
+/// Parse "key=value" and return value if key matches, else nullopt.
+std::optional<std::string> key_value(const std::string& token, std::string_view key) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || token.substr(0, eq) != key) return std::nullopt;
+  return token.substr(eq + 1);
+}
+
+double parse_double(const std::string& text, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    parse_error(line_no, "bad number: " + text);
+  }
+}
+
+SpeedProfile parse_profile(const std::string& text, std::size_t line_no) {
+  SpeedProfile profile;
+  std::istringstream is(text);
+  std::string pair;
+  while (std::getline(is, pair, ',')) {
+    const auto colon = pair.find(':');
+    if (colon == std::string::npos) parse_error(line_no, "profile entry needs t:speed: " + pair);
+    profile.time_points.push_back(parse_double(pair.substr(0, colon), line_no));
+    profile.speeds.push_back(parse_double(pair.substr(colon + 1), line_no));
+  }
+  return profile;
+}
+
+}  // namespace
+
+Platform parse_platform(std::string_view text) {
+  Platform platform;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "host") {
+      if (tok.size() < 3) parse_error(line_no, "host needs: host <name> speed=<flops>");
+      std::optional<std::string> speed;
+      std::optional<std::string> profile;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        if (auto v = key_value(tok[i], "speed")) speed = v;
+        else if (auto pv = key_value(tok[i], "profile")) profile = pv;
+        else parse_error(line_no, "unknown host attribute: " + tok[i]);
+      }
+      if (!speed) parse_error(line_no, "host is missing speed=");
+      Host& h = platform.add_host(tok[1], parse_double(*speed, line_no));
+      if (profile) h.set_speed_profile(parse_profile(*profile, line_no));
+    } else if (tok[0] == "link") {
+      if (tok.size() != 4) {
+        parse_error(line_no, "link needs: link <name> bandwidth=<bytes/s> latency=<s>");
+      }
+      std::optional<std::string> bw;
+      std::optional<std::string> lat;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        if (auto v = key_value(tok[i], "bandwidth")) bw = v;
+        else if (auto lv = key_value(tok[i], "latency")) lat = lv;
+        else parse_error(line_no, "unknown link attribute: " + tok[i]);
+      }
+      if (!bw || !lat) parse_error(line_no, "link needs bandwidth= and latency=");
+      platform.add_link(tok[1], parse_double(*bw, line_no), parse_double(*lat, line_no));
+    } else if (tok[0] == "route") {
+      if (tok.size() < 4) parse_error(line_no, "route needs: route <hostA> <hostB> <link>...");
+      try {
+        platform.add_route(tok[1], tok[2], {tok.begin() + 3, tok.end()});
+      } catch (const std::exception& e) {
+        parse_error(line_no, e.what());
+      }
+    } else {
+      parse_error(line_no, "unknown directive: " + tok[0]);
+    }
+  }
+  return platform;
+}
+
+std::vector<DeploymentEntry> parse_deployment(std::string_view text) {
+  std::vector<DeploymentEntry> entries;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    if (tok[0] != "actor" || tok.size() < 3) {
+      parse_error(line_no, "deployment lines are: actor <host> <function> [arg...]");
+    }
+    entries.push_back(DeploymentEntry{tok[1], tok[2], {tok.begin() + 3, tok.end()}});
+  }
+  return entries;
+}
+
+}  // namespace simx

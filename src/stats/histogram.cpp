@@ -1,0 +1,68 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/table.hpp"
+
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: need lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+std::string Histogram::to_ascii(std::size_t bar_width) const {
+  std::size_t max_count = std::max<std::size_t>(1, underflow_);
+  max_count = std::max(max_count, overflow_);
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+
+  std::ostringstream os;
+  auto line = [&](const std::string& label, std::size_t count) {
+    const auto bar = static_cast<std::size_t>(std::llround(
+        static_cast<double>(bar_width) * static_cast<double>(count) /
+        static_cast<double>(max_count)));
+    os << label << " | " << std::string(bar, '#') << " " << count << "\n";
+  };
+  if (underflow_ > 0) line("           < " + support::fmt(lo_, 1), underflow_);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    line("[" + support::fmt(bin_lo(b), 1) + ", " + support::fmt(bin_hi(b), 1) + ")", counts_[b]);
+  }
+  if (overflow_ > 0) line("          >= " + support::fmt(hi_, 1), overflow_);
+  return os.str();
+}
+
+}  // namespace stats

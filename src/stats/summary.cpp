@@ -1,0 +1,60 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stats {
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (!(q >= 0.0 && q <= 1.0)) throw std::invalid_argument("percentile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  Accumulator acc;
+  for (double v : values) acc.add(v);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = std::sqrt(acc.sample_variance());
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(values, 0.5);
+  s.p95 = percentile(values, 0.95);
+  return s;
+}
+
+TrimmedMean mean_below(std::span<const double> values, double cutoff) {
+  TrimmedMean out;
+  Accumulator acc;
+  for (double v : values) {
+    if (v > cutoff) {
+      ++out.removed;
+    } else {
+      acc.add(v);
+    }
+  }
+  out.mean = acc.mean();
+  return out;
+}
+
+Discrepancy discrepancy(double original, double simulated) {
+  Discrepancy d;
+  d.absolute = simulated - original;
+  d.relative_percent = original != 0.0 ? 100.0 * d.absolute / original
+                                       : (d.absolute == 0.0 ? 0.0 : INFINITY);
+  return d;
+}
+
+}  // namespace stats

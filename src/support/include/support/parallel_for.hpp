@@ -1,0 +1,32 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace support {
+
+/// Number of worker threads to use by default: hardware concurrency,
+/// overridable via the DLS_THREADS environment variable (useful for
+/// deterministic CI runs and for the benches' --threads flag).
+[[nodiscard]] unsigned default_thread_count();
+
+/// Run `body(i)` for i in [0, count) across a transient thread pool.
+///
+/// The repetition dimension of every experiment (1000 independent
+/// simulation runs per configuration in the BOLD reproduction) is
+/// embarrassingly parallel: each run owns its engine and RNG, seeded by
+/// the run index, so scheduling order across threads cannot change any
+/// result.  Work is claimed via an atomic counter in blocks of
+/// `grain` indices to avoid contention for cheap bodies.
+///
+/// The first exception thrown by any body is captured and rethrown on
+/// the calling thread after all workers have stopped.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  unsigned threads = 0, std::size_t grain = 1);
+
+}  // namespace support

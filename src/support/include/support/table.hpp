@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// Tabular output used by every bench harness so the regenerated paper
+/// tables/figure series have one consistent, machine-parsable format.
+///
+/// A Table holds a header row plus data rows of pre-formatted cells and
+/// can render itself as aligned ASCII (for terminals) or CSV (for
+/// re-plotting the paper figures).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Aligned, pipe-separated rendering (markdown-compatible).
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision; the benches use this so columns
+/// line up and CSV output round-trips.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace support

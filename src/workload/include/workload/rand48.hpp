@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+namespace workload {
+
+/// Exact reimplementation of the POSIX rand48 generator family
+/// (drand48/erand48/lrand48/nrand48/mrand48/jrand48).
+///
+/// The BOLD publication (Hagerup 1997) generated its task execution
+/// times with erand48/nrand48; reimplementing the 48-bit linear
+/// congruential generator from its published constants makes our
+/// replication of that simulator bit-reproducible on any platform,
+/// independent of the host libc.
+///
+/// Recurrence: X_{k+1} = (a * X_k + c) mod 2^48,
+/// with a = 0x5DEECE66D and c = 0xB.
+class Rand48 {
+ public:
+  static constexpr std::uint64_t kA = 0x5DEECE66Dull;
+  static constexpr std::uint64_t kC = 0xBull;
+  static constexpr std::uint64_t kMask48 = (1ull << 48) - 1;
+
+  /// Equivalent of srand48(seed): the high 32 bits of X are set to the
+  /// seed and the low 16 bits to the constant 0x330E.
+  explicit Rand48(std::uint32_t seed = 0) { srand48(seed); }
+
+  void srand48(std::uint32_t seed) {
+    state_ = ((static_cast<std::uint64_t>(seed) << 16) | 0x330Eull) & kMask48;
+  }
+
+  /// Set the raw 48-bit state (equivalent of seed48 with a full value).
+  void seed48(std::uint64_t state) { state_ = state & kMask48; }
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+
+  /// drand48/erand48: uniformly distributed double in [0, 1).
+  double drand48() { return static_cast<double>(step()) * 0x1p-48; }
+
+  /// lrand48/nrand48: uniformly distributed integer in [0, 2^31).
+  std::uint32_t lrand48() { return static_cast<std::uint32_t>(step() >> 17); }
+
+  /// mrand48/jrand48: uniformly distributed integer in [-2^31, 2^31).
+  std::int32_t mrand48() { return static_cast<std::int32_t>(step() >> 16); }
+
+ private:
+  std::uint64_t step() {
+    state_ = (kA * state_ + kC) & kMask48;
+    return state_;
+  }
+
+  std::uint64_t state_ = 0x330Eull;
+};
+
+}  // namespace workload

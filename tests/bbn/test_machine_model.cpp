@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "bbn/machine_model.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+using dls::Kind;
+
+bbn::Config base_config(Kind kind, std::size_t pes, std::size_t tasks,
+                        double task_seconds = 110e-6) {
+  bbn::Config cfg;
+  cfg.technique = kind;
+  cfg.pes = pes;
+  cfg.tasks = tasks;
+  cfg.workload = workload::constant(task_seconds);
+  return cfg;
+}
+
+TEST(BbnModel, TzenNiIdentityHolds) {
+  // r + Theta + Lambda = P exactly, by equations (11)-(13) with
+  // sum(X+O+W) = P * T.
+  for (Kind kind : {Kind::kSS, Kind::kCSS, Kind::kGSS, Kind::kTSS}) {
+    const bbn::Config cfg = base_config(kind, 16, 10000);
+    const bbn::RunResult r = bbn::run(cfg);
+    EXPECT_NEAR(r.speedup + r.overhead_degree + r.imbalance_degree, 16.0, 1e-9)
+        << dls::to_string(kind);
+  }
+}
+
+TEST(BbnModel, SpeedupBoundedByPes) {
+  for (std::size_t p : {2u, 8u, 32u, 72u}) {
+    const bbn::Config cfg = base_config(Kind::kTSS, p, 100000);
+    EXPECT_LE(bbn::run(cfg).speedup, static_cast<double>(p) + 1e-9);
+  }
+}
+
+TEST(BbnModel, DispatchSerializationCapsSelfScheduling) {
+  // SS throughput is capped by the serialized atomic fetch: speedup
+  // saturates well below linear for short tasks (paper Figure 3a).
+  const bbn::Config at72 = base_config(Kind::kSS, 72, 100000);
+  const bbn::RunResult r = bbn::run(at72);
+  EXPECT_LT(r.speedup, 30.0);
+  // And the saturation is dispatch overhead, not imbalance.
+  EXPECT_GT(r.overhead_degree, r.imbalance_degree);
+}
+
+TEST(BbnModel, LongTasksAmortizeDispatchCosts) {
+  // Experiment 2's 2 ms tasks: SS recovers most of the lost speedup.
+  const bbn::RunResult short_tasks = bbn::run(base_config(Kind::kSS, 72, 100000, 110e-6));
+  const bbn::RunResult long_tasks = bbn::run(base_config(Kind::kSS, 72, 10000, 2e-3));
+  EXPECT_GT(long_tasks.speedup, short_tasks.speedup * 1.5);
+}
+
+TEST(BbnModel, GssLockIsCostlierThanAtomicDispatch) {
+  const bbn::MachineModel machine;
+  EXPECT_GT(machine.dispatch_hold(Kind::kGSS, 72), machine.dispatch_hold(Kind::kSS, 72) * 3.0);
+}
+
+TEST(BbnModel, GssOneDegradesRelativeToGss80) {
+  // The original publication's key contrast (paper Section IV-A): the
+  // lock-based chunk calculation hurts GSS(1) while GSS(80) stays close
+  // to CSS/TSS.
+  bbn::Config gss1 = base_config(Kind::kGSS, 72, 100000);
+  gss1.params.gss_min_chunk = 1;
+  bbn::Config gss80 = base_config(Kind::kGSS, 72, 100000);
+  gss80.params.gss_min_chunk = 80;
+  const double s1 = bbn::run(gss1).speedup;
+  const double s80 = bbn::run(gss80).speedup;
+  EXPECT_LT(s1, s80);
+}
+
+TEST(BbnModel, CssAndTssStayNearLinear) {
+  for (Kind kind : {Kind::kCSS, Kind::kTSS}) {
+    const bbn::Config cfg = base_config(kind, 72, 100000);
+    EXPECT_GT(bbn::run(cfg).speedup, 72.0 * 0.85) << dls::to_string(kind);
+  }
+}
+
+TEST(BbnModel, RemoteReferenceInflationAppliedToWork) {
+  bbn::Config cfg = base_config(Kind::kCSS, 1, 1000);
+  const bbn::RunResult r = bbn::run(cfg);
+  const double raw_work = 1000.0 * 110e-6;
+  EXPECT_NEAR(r.total_work, raw_work * cfg.machine.inflation(), 1e-9);
+  EXPECT_GT(cfg.machine.inflation(), 1.0);
+}
+
+TEST(BbnModel, InflationFormula) {
+  bbn::MachineModel machine;
+  machine.remote_ref_ratio = 0.05;
+  machine.remote_penalty = 3.0;
+  EXPECT_DOUBLE_EQ(machine.inflation(), 1.1);
+  machine.remote_ref_ratio = 0.0;
+  EXPECT_DOUBLE_EQ(machine.inflation(), 1.0);
+}
+
+TEST(BbnModel, DispatchCostGrowsWithPes) {
+  const bbn::MachineModel machine;
+  EXPECT_GT(machine.dispatch_hold(Kind::kSS, 72), machine.dispatch_hold(Kind::kSS, 2));
+  EXPECT_GT(machine.dispatch_hold(Kind::kGSS, 72), machine.dispatch_hold(Kind::kGSS, 2));
+}
+
+TEST(BbnModel, TaskConservation) {
+  for (Kind kind : {Kind::kSS, Kind::kCSS, Kind::kGSS, Kind::kTSS}) {
+    const bbn::Config cfg = base_config(kind, 16, 9999);
+    const bbn::RunResult r = bbn::run(cfg);
+    double per_pe_work = 0.0;
+    for (double x : r.compute_time) per_pe_work += x;
+    EXPECT_NEAR(per_pe_work, r.total_work, 1e-9) << dls::to_string(kind);
+  }
+}
+
+TEST(BbnModel, ValidatesConfig) {
+  bbn::Config cfg = base_config(Kind::kSS, 2, 10);
+  cfg.pes = 0;
+  EXPECT_THROW((void)bbn::run(cfg), std::invalid_argument);
+  cfg = base_config(Kind::kSS, 2, 10);
+  cfg.workload = nullptr;
+  EXPECT_THROW((void)bbn::run(cfg), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Randomized property tests: every technique must preserve its
+// invariants under arbitrary request orders and noisy feedback, not
+// just the round-robin constant-time driver of chunk_sequence().
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dls/technique.hpp"
+#include "workload/random_source.hpp"
+
+namespace {
+
+using dls::Kind;
+
+struct FuzzCase {
+  Kind kind;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<FuzzCase>& info) {
+  std::string name = dls::to_string(info.param.kind);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(info.param.seed);
+}
+
+class TechniqueFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(TechniqueFuzz, SurvivesRandomDriversWithExactConservation) {
+  workload::XoshiroSource rng(GetParam().seed);
+  // Random problem shape.
+  const std::size_t p = 1 + rng.next_u64() % 64;
+  const std::size_t n = 1 + rng.next_u64() % 20000;
+  dls::Params params;
+  params.p = p;
+  params.n = n;
+  params.mu = 0.1 + rng.uniform01() * 4.0;
+  params.sigma = rng.uniform01() * 2.0 * params.mu;
+  params.h = rng.uniform01();
+  const auto tech = dls::make_technique(GetParam().kind, params);
+
+  // Random request order with out-of-order completions: keep a pool of
+  // outstanding chunks and complete a random one from time to time.
+  struct Outstanding {
+    std::size_t pe;
+    std::size_t size;
+  };
+  std::vector<Outstanding> outstanding;
+  double now = 0.0;
+  std::size_t allocated = 0;
+  std::size_t completed = 0;
+  std::size_t guard = 0;
+  while (completed < n) {
+    ASSERT_LT(guard++, 8 * n + 1024) << "driver failed to converge";
+    const bool can_request = tech->remaining() > 0;
+    const bool do_request = can_request && (outstanding.empty() || rng.uniform01() < 0.6);
+    if (do_request) {
+      const std::size_t pe = rng.next_u64() % p;
+      const std::size_t chunk = tech->next_chunk(dls::Request{pe, now});
+      ASSERT_GE(chunk, 1u);
+      ASSERT_LE(chunk, n - allocated);
+      allocated += chunk;
+      ASSERT_EQ(tech->allocated(), allocated);
+      outstanding.push_back({pe, chunk});
+    } else {
+      ASSERT_FALSE(outstanding.empty());
+      const std::size_t pick = rng.next_u64() % outstanding.size();
+      const Outstanding done = outstanding[pick];
+      outstanding.erase(outstanding.begin() + static_cast<std::ptrdiff_t>(pick));
+      const double exec =
+          static_cast<double>(done.size) * (params.mu * (0.25 + 1.5 * rng.uniform01()));
+      now += exec * 0.1;
+      tech->on_chunk_complete(dls::ChunkFeedback{done.pe, done.size, exec, now});
+      completed += done.size;
+      ASSERT_EQ(tech->unfinished(), n - completed);
+    }
+  }
+  EXPECT_EQ(tech->remaining(), 0u);
+  EXPECT_EQ(tech->unfinished(), 0u);
+  EXPECT_EQ(tech->next_chunk(dls::Request{0, now}), 0u);
+}
+
+TEST_P(TechniqueFuzz, ReclaimKeepsBooksBalanced) {
+  workload::XoshiroSource rng(GetParam().seed ^ 0xABCDEFull);
+  const std::size_t p = 2 + rng.next_u64() % 16;
+  const std::size_t n = 100 + rng.next_u64() % 5000;
+  dls::Params params;
+  params.p = p;
+  params.n = n;
+  params.mu = 1.0;
+  params.sigma = 1.0;
+  params.h = 0.5;
+  const auto tech = dls::make_technique(GetParam().kind, params);
+
+  // Allocate, randomly reclaim ~20% of chunks (failures), complete the
+  // rest; total completed must still reach n.
+  std::size_t completed = 0;
+  double now = 0.0;
+  std::size_t guard = 0;
+  while (completed < n) {
+    ASSERT_LT(guard++, 16 * n + 1024);
+    const std::size_t pe = rng.next_u64() % p;
+    const std::size_t chunk = tech->next_chunk(dls::Request{pe, now});
+    if (chunk == 0) break;  // cannot happen while completed < n, checked below
+    now += 1.0;
+    if (rng.uniform01() < 0.2) {
+      tech->reclaim(chunk);  // chunk lost to a failure, tasks returned
+    } else {
+      tech->on_chunk_complete(dls::ChunkFeedback{pe, chunk, static_cast<double>(chunk), now});
+      completed += chunk;
+    }
+  }
+  EXPECT_EQ(completed, n);
+  EXPECT_EQ(tech->remaining(), 0u);
+}
+
+std::vector<FuzzCase> fuzz_grid() {
+  std::vector<FuzzCase> cases;
+  for (Kind k : dls::all_kinds()) {
+    for (std::uint64_t seed : {11ull, 222ull, 3333ull}) {
+      cases.push_back({k, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TechniqueFuzz, ::testing::ValuesIn(fuzz_grid()), case_name);
+
+}  // namespace

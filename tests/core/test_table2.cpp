@@ -1,0 +1,78 @@
+// Pins the parameter-requirement masks to paper Table II, cell by cell.
+//
+//   DLS   | p n r h mu sigma f l m
+//   ------+-----------------------
+//   STAT  | X X
+//   SS    |
+//   FSC   | X X   X      X
+//   GSS   | X   X
+//   TSS   | X X          X  X
+//   FAC   | X   X    X   X
+//   FAC2  | X   X
+//   BOLD  | X   X X  X   X        X
+
+#include <gtest/gtest.h>
+
+#include "dls/technique.hpp"
+
+namespace {
+
+using namespace dls::requires_bit;
+using dls::Kind;
+
+unsigned mask_of(Kind kind) {
+  dls::Params p;
+  p.p = 4;
+  p.n = 100;
+  p.mu = 1.0;
+  p.sigma = 1.0;
+  p.h = 0.5;
+  return dls::make_technique(kind, p)->required_mask();
+}
+
+struct Table2Row {
+  Kind kind;
+  unsigned mask;
+};
+
+class Table2 : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2, RequiredMaskMatchesPaper) {
+  EXPECT_EQ(mask_of(GetParam().kind), GetParam().mask)
+      << dls::to_string(GetParam().kind) << " requires "
+      << dls::requires_to_string(mask_of(GetParam().kind)) << ", paper says "
+      << dls::requires_to_string(GetParam().mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable2, Table2,
+    ::testing::Values(Table2Row{Kind::kStatic, kP | kN},
+                      Table2Row{Kind::kSS, 0u},
+                      Table2Row{Kind::kFSC, kP | kN | kH | kSigma},
+                      Table2Row{Kind::kGSS, kP | kR},
+                      Table2Row{Kind::kTSS, kP | kN | kFirst | kLast},
+                      Table2Row{Kind::kFAC, kP | kR | kMu | kSigma},
+                      Table2Row{Kind::kFAC2, kP | kR},
+                      Table2Row{Kind::kBOLD, kP | kR | kH | kMu | kSigma | kM}),
+    [](const ::testing::TestParamInfo<Table2Row>& info) {
+      std::string name = dls::to_string(info.param.kind);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Table2, OnlyBoldRequiresM) {
+  for (Kind k : dls::bold_publication_kinds()) {
+    const bool has_m = (mask_of(k) & kM) != 0;
+    EXPECT_EQ(has_m, k == Kind::kBOLD) << dls::to_string(k);
+  }
+}
+
+TEST(Table2, OnlySsRequiresNothing) {
+  for (Kind k : dls::bold_publication_kinds()) {
+    EXPECT_EQ(mask_of(k) == 0, k == Kind::kSS) << dls::to_string(k);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "hagerup/simulator.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+using dls::Kind;
+
+hagerup::Config base_config(Kind kind, std::size_t pes, std::size_t tasks) {
+  hagerup::Config cfg;
+  cfg.technique = kind;
+  cfg.pes = pes;
+  cfg.tasks = tasks;
+  cfg.workload = workload::constant(1.0);
+  cfg.params.mu = 1.0;
+  cfg.params.sigma = 0.0;
+  cfg.params.h = 0.5;
+  return cfg;
+}
+
+TEST(HagerupSim, StatConstantWorkloadExactTimes) {
+  // STAT, p = 2, n = 10, 1 s tasks, h = 0.5 inline: each worker pays one
+  // allocation (0.5) then computes 5 s -> makespan 5.5, wasted 0.5 each.
+  const hagerup::Config cfg = base_config(Kind::kStatic, 2, 10);
+  const hagerup::RunResult r = hagerup::run(cfg);
+  EXPECT_DOUBLE_EQ(r.makespan, 5.5);
+  EXPECT_DOUBLE_EQ(r.avg_wasted_time, 0.5);
+  EXPECT_EQ(r.chunk_count, 2u);
+}
+
+TEST(HagerupSim, SelfSchedulingOverheadDominates) {
+  // SS: every task pays h on the worker's own timeline.  p = 2, n = 100:
+  // each worker executes ~50 tasks at 1.5 s each -> makespan ~75,
+  // wasted ~25 per worker.
+  const hagerup::Config cfg = base_config(Kind::kSS, 2, 100);
+  const hagerup::RunResult r = hagerup::run(cfg);
+  EXPECT_NEAR(r.makespan, 75.0, 1.0);
+  EXPECT_NEAR(r.avg_wasted_time, 25.0, 1.0);
+  EXPECT_EQ(r.chunk_count, 100u);
+}
+
+TEST(HagerupSim, InlineAndPosthocOverheadAgreeForSS) {
+  // The two accountings differ only by end effects (paper Section IV-B:
+  // the discrepancy shrinks as n grows).
+  hagerup::Config inline_cfg = base_config(Kind::kSS, 4, 10000);
+  hagerup::Config posthoc_cfg = base_config(Kind::kSS, 4, 10000);
+  posthoc_cfg.charge_overhead_inline = false;
+  const double w_inline = hagerup::run(inline_cfg).avg_wasted_time;
+  const double w_posthoc = hagerup::run(posthoc_cfg).avg_wasted_time;
+  EXPECT_NEAR(w_inline, w_posthoc, w_inline * 0.01);
+}
+
+TEST(HagerupSim, DeterministicPerSeed) {
+  hagerup::Config cfg = base_config(Kind::kFAC, 8, 1024);
+  cfg.workload = workload::exponential(1.0);
+  cfg.params.sigma = 1.0;
+  cfg.seed = 99;
+  const hagerup::RunResult a = hagerup::run(cfg);
+  const hagerup::RunResult b = hagerup::run(cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_wasted_time, b.avg_wasted_time);
+  cfg.seed = 100;
+  EXPECT_NE(hagerup::run(cfg).makespan, a.makespan);
+}
+
+TEST(HagerupSim, TaskConservation) {
+  for (Kind kind : dls::bold_publication_kinds()) {
+    hagerup::Config cfg = base_config(kind, 8, 1024);
+    cfg.workload = workload::exponential(1.0);
+    cfg.params.sigma = 1.0;
+    const hagerup::RunResult r = hagerup::run(cfg);
+    std::size_t chunks = 0;
+    for (std::size_t c : r.chunks) chunks += c;
+    EXPECT_EQ(chunks, r.chunk_count) << dls::to_string(kind);
+    EXPECT_NEAR(r.total_work,
+                [&r] {
+                  double sum = 0.0;
+                  for (double c : r.compute_time) sum += c;
+                  return sum;
+                }(),
+                1e-6)
+        << dls::to_string(kind);
+  }
+}
+
+TEST(HagerupSim, WastedTimeNonNegative) {
+  for (Kind kind : dls::bold_publication_kinds()) {
+    hagerup::Config cfg = base_config(kind, 64, 8192);
+    cfg.workload = workload::exponential(1.0);
+    cfg.params.sigma = 1.0;
+    EXPECT_GE(hagerup::run(cfg).avg_wasted_time, 0.0) << dls::to_string(kind);
+  }
+}
+
+TEST(HagerupSim, MorePesThanTasks) {
+  const hagerup::Config cfg = base_config(Kind::kSS, 64, 10);
+  const hagerup::RunResult r = hagerup::run(cfg);
+  EXPECT_EQ(r.chunk_count, 10u);
+  EXPECT_DOUBLE_EQ(r.makespan, 1.5);  // one 1 s task + 0.5 overhead
+}
+
+TEST(HagerupSim, Rand48MatchesPaperGeneratorFamily) {
+  // use_rand48 must change the drawn workload relative to xoshiro.
+  hagerup::Config cfg = base_config(Kind::kSS, 2, 100);
+  cfg.workload = workload::exponential(1.0);
+  cfg.params.sigma = 1.0;
+  cfg.use_rand48 = true;
+  const double a = hagerup::run(cfg).makespan;
+  cfg.use_rand48 = false;
+  const double b = hagerup::run(cfg).makespan;
+  EXPECT_NE(a, b);
+}
+
+TEST(HagerupSim, ValidatesConfig) {
+  hagerup::Config cfg = base_config(Kind::kSS, 2, 10);
+  cfg.pes = 0;
+  EXPECT_THROW((void)hagerup::run(cfg), std::invalid_argument);
+  cfg = base_config(Kind::kSS, 2, 10);
+  cfg.tasks = 0;
+  EXPECT_THROW((void)hagerup::run(cfg), std::invalid_argument);
+  cfg = base_config(Kind::kSS, 2, 10);
+  cfg.workload = nullptr;
+  EXPECT_THROW((void)hagerup::run(cfg), std::invalid_argument);
+}
+
+TEST(HagerupSim, BoldBeatsSelfSchedulingOnWastedTime) {
+  // The headline qualitative result of the BOLD publication.
+  hagerup::Config ss = base_config(Kind::kSS, 64, 8192);
+  ss.workload = workload::exponential(1.0);
+  ss.params.sigma = 1.0;
+  hagerup::Config bold = base_config(Kind::kBOLD, 64, 8192);
+  bold.workload = workload::exponential(1.0);
+  bold.params.sigma = 1.0;
+  EXPECT_LT(hagerup::run(bold).avg_wasted_time, hagerup::run(ss).avg_wasted_time);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Fail-stop resilience: workers die at configured times, the master
+// reclaims their outstanding chunks and re-schedules them -- the
+// scenario of the resilience study the paper cites as groundwork
+// (Sukhija, Banicescu & Ciorba 2015).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "mw/metrics.hpp"
+#include "mw/simulation.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+using dls::Kind;
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+mw::Config base_config(Kind kind, std::size_t workers, std::size_t tasks) {
+  mw::Config cfg;
+  cfg.technique = kind;
+  cfg.workers = workers;
+  cfg.tasks = tasks;
+  cfg.workload = workload::constant(1.0);
+  cfg.params.mu = 1.0;
+  cfg.params.sigma = 0.0;
+  cfg.params.h = 0.01;
+  return cfg;
+}
+
+TEST(Resilience, AllTasksCompleteDespiteOneFailure) {
+  for (Kind kind : {Kind::kSS, Kind::kGSS, Kind::kFAC2, Kind::kTSS, Kind::kBOLD}) {
+    mw::Config cfg = base_config(kind, 4, 400);
+    cfg.worker_failure_times = {30.0, kNever, kNever, kNever};
+    const mw::RunResult r = mw::run_simulation(cfg);
+    std::size_t completed = 0;
+    for (const mw::WorkerStats& w : r.workers) completed += w.tasks;
+    EXPECT_EQ(completed, 400u) << dls::to_string(kind);
+    EXPECT_TRUE(r.workers[0].failed) << dls::to_string(kind);
+    EXPECT_FALSE(r.workers[1].failed) << dls::to_string(kind);
+  }
+}
+
+TEST(Resilience, LostWorkIsReclaimedAndRedone) {
+  // STAT hands worker 0 a 100-task block; it dies at t = 10 having
+  // completed nothing (fail-stop loses the whole chunk).
+  mw::Config cfg = base_config(Kind::kStatic, 4, 400);
+  cfg.worker_failure_times = {10.0, kNever, kNever, kNever};
+  const mw::RunResult r = mw::run_simulation(cfg);
+  EXPECT_EQ(r.tasks_reclaimed, 100u);
+  EXPECT_EQ(r.workers[0].tasks, 0u);  // its work was redone elsewhere
+  std::size_t completed = 0;
+  for (const mw::WorkerStats& w : r.workers) completed += w.tasks;
+  EXPECT_EQ(completed, 400u);
+}
+
+TEST(Resilience, FailureDelaysCompletion) {
+  mw::Config healthy = base_config(Kind::kFAC2, 4, 400);
+  mw::Config faulty = base_config(Kind::kFAC2, 4, 400);
+  faulty.worker_failure_times = {20.0, kNever, kNever, kNever};
+  const double m_healthy = mw::run_simulation(healthy).makespan;
+  const double m_faulty = mw::run_simulation(faulty).makespan;
+  EXPECT_GT(m_faulty, m_healthy);
+  // But bounded: three survivors -> at most ~4/3 the work each plus
+  // the lost-and-redone chunk.
+  EXPECT_LT(m_faulty, m_healthy * 2.5);
+}
+
+TEST(Resilience, ImmediateFailureMeansWorkerNeverContributes) {
+  mw::Config cfg = base_config(Kind::kSS, 3, 90);
+  cfg.worker_failure_times = {0.0, kNever, kNever};
+  const mw::RunResult r = mw::run_simulation(cfg);
+  EXPECT_TRUE(r.workers[0].failed);
+  EXPECT_EQ(r.workers[0].tasks, 0u);
+  std::size_t completed = 0;
+  for (const mw::WorkerStats& w : r.workers) completed += w.tasks;
+  EXPECT_EQ(completed, 90u);
+  // Two survivors share the 90 tasks.
+  EXPECT_NEAR(r.makespan, 45.0, 2.0);
+}
+
+TEST(Resilience, MultipleFailuresSurvived) {
+  mw::Config cfg = base_config(Kind::kGSS, 8, 800);
+  cfg.worker_failure_times = {15.0, 25.0, kNever, kNever, kNever, kNever, kNever, 40.0};
+  const mw::RunResult r = mw::run_simulation(cfg);
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  for (const mw::WorkerStats& w : r.workers) {
+    completed += w.tasks;
+    if (w.failed) ++failed;
+  }
+  EXPECT_EQ(completed, 800u);
+  EXPECT_EQ(failed, 3u);
+}
+
+TEST(Resilience, AllWorkersFailingThrows) {
+  mw::Config cfg = base_config(Kind::kSS, 2, 100);
+  cfg.worker_failure_times = {5.0, 7.0};
+  EXPECT_THROW((void)mw::run_simulation(cfg), std::runtime_error);
+}
+
+TEST(Resilience, MidChunkFailureLosesPartialWork) {
+  // One worker, tasks of 1 s, CSS chunk of 10: the worker dies at
+  // t = 5.5, mid-chunk.  A second worker finishes everything.
+  mw::Config cfg = base_config(Kind::kCSS, 2, 20);
+  cfg.params.css_chunk = 10;
+  cfg.worker_failure_times = {5.5, kNever};
+  const mw::RunResult r = mw::run_simulation(cfg);
+  EXPECT_TRUE(r.workers[0].failed);
+  EXPECT_EQ(r.tasks_reclaimed, 10u);
+  EXPECT_EQ(r.workers[1].tasks, 20u);
+  // The dead worker burned 5.5 s of compute that produced nothing.
+  EXPECT_NEAR(r.workers[0].compute_time, 5.5, 1e-6);
+}
+
+TEST(Resilience, FailuresAcrossTimesteps) {
+  mw::Config cfg = base_config(Kind::kAWFB, 4, 200);
+  cfg.timesteps = 3;
+  cfg.worker_failure_times = {80.0, kNever, kNever, kNever};  // dies in a later step
+  const mw::RunResult r = mw::run_simulation(cfg);
+  std::size_t completed = 0;
+  for (const mw::WorkerStats& w : r.workers) completed += w.tasks;
+  EXPECT_EQ(completed, 600u);
+  EXPECT_TRUE(r.workers[0].failed);
+}
+
+TEST(Resilience, ValidatesFailureVector) {
+  mw::Config cfg = base_config(Kind::kSS, 2, 10);
+  cfg.worker_failure_times = {1.0};  // wrong size
+  EXPECT_THROW((void)mw::run_simulation(cfg), std::invalid_argument);
+  cfg.worker_failure_times = {-1.0, kNever};
+  EXPECT_THROW((void)mw::run_simulation(cfg), std::invalid_argument);
+}
+
+TEST(Resilience, NoFailuresMatchesBaseline) {
+  mw::Config plain = base_config(Kind::kFAC2, 4, 400);
+  mw::Config with_vector = base_config(Kind::kFAC2, 4, 400);
+  with_vector.worker_failure_times = {kNever, kNever, kNever, kNever};
+  EXPECT_DOUBLE_EQ(mw::run_simulation(plain).makespan,
+                   mw::run_simulation(with_vector).makespan);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "repro/experiment_file.hpp"
+
+namespace {
+
+constexpr const char* kValid = R"(
+# a complete experiment description
+technique FAC2
+tasks     1024
+workers   8
+workload  exponential:1.0
+h         0.5
+seed      7
+)";
+
+TEST(ExperimentFile, ParsesValidDescription) {
+  const mw::Config cfg = repro::parse_experiment(kValid);
+  EXPECT_EQ(cfg.technique, dls::Kind::kFAC2);
+  EXPECT_EQ(cfg.tasks, 1024u);
+  EXPECT_EQ(cfg.workers, 8u);
+  EXPECT_DOUBLE_EQ(cfg.params.h, 0.5);
+  EXPECT_EQ(cfg.seed, 7u);
+  // mu/sigma default to the workload's moments.
+  EXPECT_DOUBLE_EQ(cfg.params.mu, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.params.sigma, 1.0);
+}
+
+TEST(ExperimentFile, ExplicitMuSigmaOverride) {
+  const mw::Config cfg = repro::parse_experiment(
+      "technique BOLD\ntasks 100\nworkers 2\nworkload exponential:2.0\nmu 5\nsigma 0.5\n");
+  EXPECT_DOUBLE_EQ(cfg.params.mu, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.params.sigma, 0.5);
+}
+
+TEST(ExperimentFile, AllKeysAccepted) {
+  const char* text = R"(
+technique GSS
+tasks     500
+workers   4
+workload  constant:0.001
+h         0.0001
+timesteps 2
+seed      3
+overhead  simulated
+latency   1e-5
+bandwidth 1e8
+css_chunk 10
+gss_min   5
+rand48    true
+)";
+  const mw::Config cfg = repro::parse_experiment(text);
+  EXPECT_EQ(cfg.timesteps, 2u);
+  EXPECT_EQ(cfg.overhead_mode, mw::OverheadMode::kSimulated);
+  EXPECT_DOUBLE_EQ(cfg.latency, 1e-5);
+  EXPECT_EQ(cfg.params.gss_min_chunk, 5u);
+  EXPECT_TRUE(cfg.use_rand48);
+}
+
+TEST(ExperimentFile, UnknownKeyIsAnErrorWithLineNumber) {
+  try {
+    (void)repro::parse_experiment("technique SS\nbanana 1\n");
+    FAIL() << "expected error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(ExperimentFile, RejectsMalformedInput) {
+  EXPECT_THROW((void)repro::parse_experiment("technique\n"), std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment("technique SS extra\n"), std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment("technique NOPE\ntasks 1\nworkers 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment("tasks -5\n"), std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment("overhead maybe\n"), std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment("rand48 maybe\n"), std::invalid_argument);
+}
+
+TEST(ExperimentFile, RequiresMandatoryKeys) {
+  EXPECT_THROW((void)repro::parse_experiment("technique SS\nworkers 2\nworkload constant:1\n"),
+               std::invalid_argument);  // no tasks
+  EXPECT_THROW((void)repro::parse_experiment("technique SS\ntasks 10\nworkload constant:1\n"),
+               std::invalid_argument);  // no workers
+  EXPECT_THROW((void)repro::parse_experiment("technique SS\ntasks 10\nworkers 2\n"),
+               std::invalid_argument);  // no workload
+}
+
+TEST(ExperimentFile, RunProducesMeasuredValues) {
+  std::ostringstream out;
+  repro::run_experiment_file(
+      "technique STAT\ntasks 100\nworkers 4\nworkload constant:1.0\nh 0.5\n", out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+  EXPECT_NE(text.find("25.0000"), std::string::npos);  // 100 x 1 s on 4 workers
+  EXPECT_NE(text.find("speedup"), std::string::npos);
+  EXPECT_NE(text.find("STAT"), std::string::npos);
+}
+
+TEST(ExperimentFile, DeterministicAcrossRuns) {
+  std::ostringstream a, b;
+  repro::run_experiment_file(kValid, a);
+  repro::run_experiment_file(kValid, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "repro/tss_experiment.hpp"
+
+namespace {
+
+repro::TssOptions tiny_options() {
+  repro::TssOptions options = repro::tss_experiment1();
+  options.tasks = 5000;
+  options.pes = {2, 8, 16};
+  return options;
+}
+
+TEST(TssExperiment, Experiment1MatchesPaperParameters) {
+  const repro::TssOptions e1 = repro::tss_experiment1();
+  EXPECT_EQ(e1.tasks, 100000u);
+  EXPECT_DOUBLE_EQ(e1.task_seconds, 110e-6);
+  ASSERT_EQ(e1.series.size(), 5u);
+  EXPECT_EQ(e1.series[0].label, "SS");
+  EXPECT_EQ(e1.series[1].label, "CSS");
+  EXPECT_EQ(e1.series[2].label, "GSS(1)");
+  EXPECT_EQ(e1.series[3].label, "GSS(80)");
+  EXPECT_EQ(e1.series[4].label, "TSS");
+}
+
+TEST(TssExperiment, Experiment2MatchesPaperParameters) {
+  const repro::TssOptions e2 = repro::tss_experiment2();
+  EXPECT_EQ(e2.tasks, 10000u);
+  EXPECT_DOUBLE_EQ(e2.task_seconds, 2e-3);
+  EXPECT_EQ(e2.series[3].label, "GSS(5)");
+}
+
+TEST(TssExperiment, ProducesAllPoints) {
+  const repro::TssOptions options = tiny_options();
+  const auto points = repro::run_tss_experiment(options);
+  EXPECT_EQ(points.size(), options.series.size() * options.pes.size());
+  for (const repro::TssPoint& p : points) {
+    EXPECT_GT(p.original_speedup, 0.0) << p.label;
+    EXPECT_GT(p.simgrid_speedup, 0.0) << p.label;
+    EXPECT_LE(p.original_speedup, static_cast<double>(p.pes) + 1e-9) << p.label;
+    EXPECT_LE(p.simgrid_speedup, static_cast<double>(p.pes) + 1e-9) << p.label;
+  }
+}
+
+TEST(TssExperiment, TendencyMatchesButValuesDiffer) {
+  // The paper's finding: both sides agree CSS/TSS are near-linear and
+  // SS is degraded, but the SS magnitudes differ between the implicit
+  // shared-memory original and the explicit master-worker simulation.
+  repro::TssOptions options = repro::tss_experiment1();
+  options.pes = {72};
+  const auto points = repro::run_tss_experiment(options);
+  auto find = [&](const std::string& label) -> const repro::TssPoint& {
+    for (const auto& p : points) {
+      if (p.label == label) return p;
+    }
+    throw std::logic_error("missing " + label);
+  };
+  const auto& ss = find("SS");
+  const auto& css = find("CSS");
+  const auto& tss = find("TSS");
+  // Same tendency on both sides...
+  EXPECT_LT(ss.original_speedup, css.original_speedup * 0.6);
+  EXPECT_LT(ss.simgrid_speedup, css.simgrid_speedup * 0.9);
+  EXPECT_GT(tss.original_speedup, 55.0);
+  EXPECT_GT(tss.simgrid_speedup, 55.0);
+  // ...but the degraded techniques' magnitudes differ strongly.
+  const double gap = std::abs(ss.original_speedup - ss.simgrid_speedup);
+  EXPECT_GT(gap, 3.0);
+}
+
+TEST(TssExperiment, SpeedupTableWellFormed) {
+  const repro::TssOptions options = tiny_options();
+  const auto points = repro::run_tss_experiment(options);
+  const support::Table table = repro::tss_speedup_table(points, options);
+  EXPECT_EQ(table.rows(), options.pes.size());
+  EXPECT_EQ(table.cols(), 1 + 2 * options.series.size());
+  EXPECT_NE(table.to_ascii().find("GSS(80) sim"), std::string::npos);
+}
+
+TEST(TssExperiment, EmptySeriesRejected) {
+  repro::TssOptions options = tiny_options();
+  options.series.clear();
+  EXPECT_THROW((void)repro::run_tss_experiment(options), std::invalid_argument);
+}
+
+}  // namespace

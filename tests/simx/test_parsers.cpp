@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "simx/platform.hpp"
+
+namespace {
+
+TEST(PlatformParser, ParsesFullDescription) {
+  const char* text = R"(
+    # the system information of paper Figure 2
+    host master speed=1e9
+    host w0 speed=5e8 profile=0:5e8,10:1e8
+    link l0 bandwidth=1.25e8 latency=1e-4
+    route master w0 l0
+  )";
+  simx::Platform p = simx::parse_platform(text);
+  EXPECT_EQ(p.host_count(), 2u);
+  EXPECT_EQ(p.link_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.host("master").speed(), 1e9);
+  EXPECT_DOUBLE_EQ(p.host("w0").speed(), 5e8);
+  EXPECT_EQ(p.host("w0").profile().speeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.comm_time(p.host("master"), p.host("w0"), 12500), 1e-4 + 1e-4);
+}
+
+TEST(PlatformParser, CommentsAndBlankLinesIgnored) {
+  const char* text = "\n# only comments\n\n   \nhost h speed=1\n";
+  EXPECT_EQ(simx::parse_platform(text).host_count(), 1u);
+}
+
+TEST(PlatformParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)simx::parse_platform("host a speed=1\nbogus x\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PlatformParser, RejectsMalformedDirectives) {
+  EXPECT_THROW((void)simx::parse_platform("host only_name\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_platform("host h speed=abc\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_platform("host h speed=1 color=red\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_platform("link l bandwidth=1\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_platform("route a b l\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_platform("host h speed=1 profile=bad\n"),
+               std::invalid_argument);
+}
+
+TEST(PlatformParser, RouteOverUnknownLinkFails) {
+  const char* text = "host a speed=1\nhost b speed=1\nroute a b ghost\n";
+  EXPECT_THROW((void)simx::parse_platform(text), std::invalid_argument);
+}
+
+TEST(DeploymentParser, ParsesActors) {
+  const char* text = R"(
+    # the application information of paper Figure 2
+    actor master master_fn
+    actor w0 worker_fn 0 extra
+  )";
+  const auto entries = simx::parse_deployment(text);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].host, "master");
+  EXPECT_EQ(entries[0].function, "master_fn");
+  EXPECT_TRUE(entries[0].args.empty());
+  EXPECT_EQ(entries[1].args, (std::vector<std::string>{"0", "extra"}));
+}
+
+TEST(DeploymentParser, RejectsMalformedLines) {
+  EXPECT_THROW((void)simx::parse_deployment("actor onlyhost\n"), std::invalid_argument);
+  EXPECT_THROW((void)simx::parse_deployment("deploy a b\n"), std::invalid_argument);
+}
+
+}  // namespace

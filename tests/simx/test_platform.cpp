@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "simx/platform.hpp"
+
+namespace {
+
+using simx::Host;
+using simx::Platform;
+using simx::SpeedProfile;
+
+TEST(Host, ConstantSpeedFinishTime) {
+  Host h("h", 1e9, 0);
+  EXPECT_DOUBLE_EQ(h.finish_time(0.0, 2e9), 2.0);
+  EXPECT_DOUBLE_EQ(h.finish_time(5.0, 5e8), 5.5);
+}
+
+TEST(Host, ZeroFlopsFinishImmediately) {
+  Host h("h", 1e9, 0);
+  EXPECT_DOUBLE_EQ(h.finish_time(3.0, 0.0), 3.0);
+}
+
+TEST(Host, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(Host("h", 0.0, 0), std::invalid_argument);
+  EXPECT_THROW(Host("h", -1.0, 0), std::invalid_argument);
+}
+
+TEST(Host, ProfileSlowdownMidWork) {
+  Host h("h", 1e9, 0);
+  // Full speed until t=1, half speed afterwards.
+  h.set_speed_profile(SpeedProfile{{0.0, 1.0}, {1e9, 5e8}});
+  // 2e9 flops from t=0: 1e9 done by t=1, remaining 1e9 at 5e8/s -> +2s.
+  EXPECT_DOUBLE_EQ(h.finish_time(0.0, 2e9), 3.0);
+}
+
+TEST(Host, ProfileStoppedSegmentPausesWork) {
+  Host h("h", 1e9, 0);
+  // Stopped between t=1 and t=2 (a failure/perturbation window).
+  h.set_speed_profile(SpeedProfile{{0.0, 1.0, 2.0}, {1e9, 0.0, 1e9}});
+  EXPECT_DOUBLE_EQ(h.finish_time(0.0, 1.5e9), 2.5);
+}
+
+TEST(Host, ProfileStartMidSegment) {
+  Host h("h", 1e9, 0);
+  h.set_speed_profile(SpeedProfile{{0.0, 10.0}, {1e9, 2e9}});
+  // Start at t=9.5: 0.5s at 1e9 then the rest at 2e9.
+  EXPECT_DOUBLE_EQ(h.finish_time(9.5, 1.5e9), 10.5);
+}
+
+TEST(Host, ForeverStoppedThrows) {
+  Host h("h", 1e9, 0);
+  h.set_speed_profile(SpeedProfile{{0.0, 1.0}, {1e9, 0.0}});
+  EXPECT_THROW((void)h.finish_time(2.0, 1.0), std::runtime_error);
+}
+
+TEST(SpeedProfile, ValidatesInvariants) {
+  EXPECT_THROW((SpeedProfile{{}, {}}.validate()), std::invalid_argument);
+  EXPECT_THROW((SpeedProfile{{1.0}, {1e9}}.validate()), std::invalid_argument);  // t0 != 0
+  EXPECT_THROW((SpeedProfile{{0.0, 0.0}, {1.0, 2.0}}.validate()), std::invalid_argument);
+  EXPECT_THROW((SpeedProfile{{0.0}, {-1.0}}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((SpeedProfile{{0.0, 1.0}, {1e9, 0.0}}.validate()));
+}
+
+TEST(Platform, RouteCostIsLatencyPlusTransfer) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  p.add_link("l", /*bandwidth=*/1e6, /*latency=*/0.001);
+  p.add_route("a", "b", {"l"});
+  // 1000 bytes at 1e6 B/s = 1 ms, plus 1 ms latency.
+  EXPECT_DOUBLE_EQ(p.comm_time(p.host("a"), p.host("b"), 1000), 0.002);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(p.comm_time(p.host("b"), p.host("a"), 1000), 0.002);
+}
+
+TEST(Platform, MultiLinkRouteSumsLatencyMinsBandwidth) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  p.add_link("l1", 1e6, 0.001);
+  p.add_link("l2", 5e5, 0.002);
+  p.add_route("a", "b", {"l1", "l2"});
+  // latency 3 ms; bottleneck bandwidth 5e5 -> 1000 B = 2 ms.
+  EXPECT_DOUBLE_EQ(p.comm_time(p.host("a"), p.host("b"), 1000), 0.005);
+}
+
+TEST(Platform, SameHostIsFree) {
+  Platform p;
+  p.add_host("a", 1e9);
+  EXPECT_DOUBLE_EQ(p.comm_time(p.host("a"), p.host("a"), 1 << 20), 0.0);
+}
+
+TEST(Platform, MissingRouteThrows) {
+  Platform p;
+  p.add_host("a", 1e9);
+  p.add_host("b", 1e9);
+  EXPECT_THROW((void)p.comm_time(p.host("a"), p.host("b"), 1), std::runtime_error);
+}
+
+TEST(Platform, DuplicateNamesRejected) {
+  Platform p;
+  p.add_host("a", 1e9);
+  EXPECT_THROW(p.add_host("a", 1e9), std::invalid_argument);
+  p.add_link("l", 1e6, 0.0);
+  EXPECT_THROW(p.add_link("l", 1e6, 0.0), std::invalid_argument);
+}
+
+TEST(Platform, UnknownLookupsThrow) {
+  Platform p;
+  EXPECT_THROW((void)p.host("ghost"), std::invalid_argument);
+  EXPECT_THROW((void)p.link("ghost"), std::invalid_argument);
+  EXPECT_THROW(p.add_route("x", "y", {"l"}), std::invalid_argument);
+}
+
+TEST(Platform, StarBuilderShape) {
+  const Platform p = simx::make_star_platform(4, 1e9, 1e9, 1e-6);
+  EXPECT_EQ(p.host_count(), 5u);
+  EXPECT_EQ(p.link_count(), 4u);
+  const Platform& cp = p;
+  EXPECT_DOUBLE_EQ(cp.comm_time(cp.host("master"), cp.host("w3"), 0), 1e-6);
+}
+
+TEST(Platform, NullNetworkIsEffectivelyFree) {
+  const Platform p = simx::make_null_network_platform(2);
+  const double cost = p.comm_time(p.host("master"), p.host("w0"), 1 << 20);
+  EXPECT_LT(cost, 1e-9);  // far below any task-time scale
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace {
+
+using stats::Histogram;
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs = {0.5, 1.5, 2.5, 3.5};
+  h.add_all(xs);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(Histogram, AsciiRenderingShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find("##########"), std::string::npos);  // fullest bin maxes out
+  EXPECT_NE(art.find(" 2"), std::string::npos);
+  EXPECT_NE(art.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

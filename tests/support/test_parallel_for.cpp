@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "support/parallel_for.hpp"
+
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  support::parallel_for(1000, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  support::parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallbackIsSequential) {
+  std::vector<std::size_t> order;
+  support::parallel_for(100, [&](std::size_t i) { order.push_back(i); }, /*threads=*/1);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto run = [](unsigned threads) {
+    std::vector<double> out(500);
+    support::parallel_for(
+        500, [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; }, threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(4), run(16));
+}
+
+TEST(ParallelFor, GrainLargerThanCountStillCovers) {
+  std::atomic<int> count{0};
+  support::parallel_for(10, [&](std::size_t) { count.fetch_add(1); }, 4, /*grain=*/100);
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      support::parallel_for(100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("boom");
+                            },
+                            8),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ManyMoreTasksThanThreads) {
+  std::atomic<std::int64_t> sum{0};
+  support::parallel_for(100000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100000ll * 99999ll / 2);
+}
+
+TEST(DefaultThreadCount, IsPositive) { EXPECT_GE(support::default_thread_count(), 1u); }
+
+}  // namespace

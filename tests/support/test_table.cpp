@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "support/table.hpp"
+
+namespace {
+
+using support::Table;
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsSimpleCells) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"va,lue"});
+  t.add_row({"quo\"te"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"va,lue\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quo\"\"te\""), std::string::npos);
+}
+
+TEST(Table, WidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table t({}), std::invalid_argument);
+}
+
+TEST(Table, AccessorsExposeContents) {
+  Table t({"h1", "h2"});
+  t.add_row({"r1c1", "r1c2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.row(0)[1], "r1c2");
+  EXPECT_THROW((void)t.row(3), std::out_of_range);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(support::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(support::fmt(-0.5, 3), "-0.500");
+  EXPECT_EQ(support::fmt(1000.0, 0), "1000");
+}
+
+}  // namespace

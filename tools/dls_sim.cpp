@@ -1,0 +1,54 @@
+// dls_sim: command-line front end for one-off DLS simulations.
+//
+// Reads an experiment description (see repro/experiment_file.hpp) from
+// a file or stdin and prints the measured values:
+//
+//   $ cat > exp.txt <<EOF
+//   technique FAC2
+//   tasks     8192
+//   workers   8
+//   workload  exponential:1.0
+//   h         0.5
+//   EOF
+//   $ dls_sim exp.txt
+//
+//   $ echo "technique GSS
+//   tasks 1000
+//   workers 4
+//   workload constant:0.002" | dls_sim -
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "repro/experiment_file.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dls_sim <experiment-file | ->\n";
+    return EXIT_FAILURE;
+  }
+  std::string text;
+  const std::string path = argv[1];
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "dls_sim: cannot open " << path << "\n";
+      return EXIT_FAILURE;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  try {
+    repro::run_experiment_file(text, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sim: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
