@@ -1,0 +1,83 @@
+// End-to-end sweep benchmark: mw::BatchRunner over a Table-2-style
+// grid (technique x workers x tasks), exponential task times -- the
+// shape of the BOLD reproduction's factorial designs, scaled to the
+// task counts where the serve path dominates.
+//
+// BM_E2ESweep pins the runner to one thread so it measures the serve
+// path itself (this is the number tracked in BENCH_e2e_sweep.json);
+// BM_E2ESweepParallel uses the default thread pool and shows the
+// batch-scaling headroom.
+//
+// Record a baseline with:
+//   bench_e2e_sweep --benchmark_format=json > raw.json
+//   bench_to_json raw.json BENCH_e2e_sweep.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "mw/batch.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+constexpr std::size_t kReplicasPerCell = 3;
+
+std::vector<mw::BatchJob> sweep_jobs(std::size_t tasks) {
+  // The Table-II techniques with distinct serve-path profiles: SS
+  // (one chunk per task, message-bound), GSS/TSS (decreasing chunks),
+  // FAC2 (batched factoring), BOLD (adaptive feedback).
+  const dls::Kind kinds[] = {dls::Kind::kSS, dls::Kind::kGSS, dls::Kind::kTSS,
+                             dls::Kind::kFAC2, dls::Kind::kBOLD};
+  const std::size_t workers[] = {64, 256};
+  std::vector<mw::BatchJob> jobs;
+  for (const dls::Kind kind : kinds) {
+    for (const std::size_t p : workers) {
+      mw::BatchJob job;
+      job.config.technique = kind;
+      job.config.workers = p;
+      job.config.tasks = tasks;
+      job.config.workload = workload::exponential(1.0);
+      job.config.params.mu = 1.0;
+      job.config.params.sigma = 1.0;
+      job.config.params.h = 0.5;
+      job.config.seed = 1000003;
+      job.replicas = kReplicasPerCell;
+      job.seed_stride = 104729;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+void run_sweep(benchmark::State& state, unsigned threads) {
+  const std::size_t tasks = static_cast<std::size_t>(state.range(0));
+  const std::vector<mw::BatchJob> jobs = sweep_jobs(tasks);
+  std::size_t runs_per_sweep = 0;
+  for (const mw::BatchJob& job : jobs) runs_per_sweep += job.replicas;
+
+  mw::BatchRunner::Options options;
+  options.threads = threads;
+  const mw::BatchRunner runner(options);
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const std::vector<mw::BatchResult> results = runner.run(jobs);
+    for (const mw::BatchResult& r : results) checksum += r.makespan.mean;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * runs_per_sweep));
+  state.counters["runs_per_sweep"] = static_cast<double>(runs_per_sweep);
+  state.counters["tasks"] = static_cast<double>(tasks);
+}
+
+void BM_E2ESweep(benchmark::State& state) { run_sweep(state, /*threads=*/1); }
+BENCHMARK(BM_E2ESweep)->Unit(benchmark::kMillisecond)->Arg(65536)->Arg(131072);
+
+void BM_E2ESweepParallel(benchmark::State& state) { run_sweep(state, /*threads=*/0); }
+BENCHMARK(BM_E2ESweepParallel)->Unit(benchmark::kMillisecond)->Arg(65536)->Arg(131072);
+
+}  // namespace
+
+BENCHMARK_MAIN();

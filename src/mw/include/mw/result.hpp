@@ -21,6 +21,19 @@ struct ChunkLogEntry {
   std::size_t first = 0;
   std::size_t size = 0;
   double issued_at = 0.0;
+  /// Aggregate nominal execution time served with the chunk [s], as
+  /// computed by the master's prefix-sum index over the task times.
+  double work_seconds = 0.0;
+};
+
+/// One contiguous sub-range of a served chunk (optional range log).  A
+/// chunk normally spans a single range; it spans several only when the
+/// free-list is fragmented after a worker failure.  `chunk` indexes
+/// into RunResult::chunk_log.
+struct ServedRangeEntry {
+  std::size_t chunk = 0;
+  std::size_t first = 0;
+  std::size_t count = 0;
 };
 
 /// Outcome of one master-worker simulation run.
@@ -31,7 +44,8 @@ struct RunResult {
   double master_busy_time = 0.0;    ///< simulated overhead time at the master
   std::size_t tasks_reclaimed = 0;  ///< tasks re-scheduled after worker failures
   std::vector<WorkerStats> workers;
-  std::vector<ChunkLogEntry> chunk_log;  ///< filled if Config::record_chunk_log
+  std::vector<ChunkLogEntry> chunk_log;      ///< filled if Config::record_chunk_log
+  std::vector<ServedRangeEntry> range_log;   ///< filled if Config::record_chunk_log
 };
 
 }  // namespace mw

@@ -1,9 +1,37 @@
 #pragma once
 
+#include <memory>
+
 #include "mw/config.hpp"
 #include "mw/result.hpp"
 
 namespace mw {
+
+/// Reusable scratch state for run_simulation.
+///
+/// Holds the simulation engine (platform, event-heap storage), the
+/// workload and prefix-sum buffers, and every bookkeeping vector of the
+/// serve loop.  When consecutive runs share the platform shape
+/// (workers, speeds, network parameters), the engine and its platform
+/// are reused instead of rebuilt, and after the first run the serve
+/// loop reaches a steady state with no heap allocation per chunk.
+///
+/// Not thread-safe: use one RunContext per thread (mw::BatchRunner
+/// keeps one per worker thread).
+class RunContext {
+ public:
+  RunContext();
+  ~RunContext();
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Opaque implementation (defined in simulation.cpp).
+  struct Impl;
+
+ private:
+  friend RunResult run_simulation(const Config& config, RunContext& context);
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Execute one master-worker scheduling simulation (paper Figure 1):
 ///
@@ -16,7 +44,12 @@ namespace mw {
 ///     simulation ends.
 ///
 /// Deterministic: the same Config (including seed) always produces the
-/// same result.  Throws on invalid configurations.
+/// same result, with or without a reused RunContext.  Throws on invalid
+/// configurations.
 [[nodiscard]] RunResult run_simulation(const Config& config);
+
+/// Same, but reusing `context`'s engine and buffers across calls --
+/// the fast path for parameter sweeps (see mw::BatchRunner).
+RunResult run_simulation(const Config& config, RunContext& context);
 
 }  // namespace mw

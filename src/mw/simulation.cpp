@@ -1,8 +1,10 @@
 #include "mw/simulation.hpp"
 
-#include <deque>
+#include <algorithm>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "dls/technique.hpp"
 #include "simx/engine.hpp"
 #include "simx/mailbox.hpp"
+#include "support/small_vector.hpp"
 #include "workload/random_source.hpp"
 
 namespace mw {
@@ -41,28 +44,79 @@ struct TaskRange {
   std::size_t count = 0;
 };
 
-struct Shared {
-  const Config* config = nullptr;
-  dls::Technique* technique = nullptr;
-  simx::Mailbox<WorkRequest>* master_box = nullptr;
-  std::vector<simx::Mailbox<WorkReply>*> worker_boxes;
-  /// Task times of the current time step (owned by the master).
-  std::vector<double> task_times;
-  workload::RandomSource* rng = nullptr;
+/// The sub-ranges of one worker's most recent chunk.  Chunks span a
+/// single range except after failures fragment the free list, so two
+/// inline slots make the common case allocation-free.
+using RangeList = support::SmallVector<TaskRange, 2>;
 
-  // outputs
-  double total_nominal_work = 0.0;
-  std::size_t chunk_count = 0;
-  std::size_t tasks_reclaimed = 0;
-  std::vector<std::size_t> tasks_per_worker;
-  std::vector<std::size_t> chunks_per_worker;
-  std::vector<bool> worker_failed;
-  std::vector<ChunkLogEntry> chunk_log;
-  /// The sub-ranges of each worker's most recent chunk (a chunk served
-  /// from a fragmented free-list may span several ranges); needed to
-  /// reclaim a failed worker's outstanding tasks exactly.
-  std::vector<std::vector<TaskRange>> last_served;
+/// Master-side free-list bookkeeping shared by the serve path.
+class TaskPool {
+ public:
+  void reset(std::size_t n) {
+    ranges_.clear();
+    head_ = 0;
+    ranges_.push_back(TaskRange{0, n});
+  }
+  void give_back(TaskRange range) { ranges_.push_back(range); }
+
+  /// Take `count` tasks from the front of the free list (possibly
+  /// spanning reclaimed fragments); their nominal seconds come from the
+  /// prefix-sum index, so the cost is O(#ranges touched) rather than
+  /// O(chunk size).  The exact sub-ranges taken are appended to `taken`
+  /// (cleared first), so a failed chunk can be given back precisely.
+  void take(std::size_t count, const std::vector<double>& prefix, double& seconds,
+            RangeList& taken) {
+    taken.clear();
+    seconds = 0.0;
+    std::size_t need = count;
+    while (need > 0) {
+      if (head_ == ranges_.size()) throw std::logic_error("TaskPool: free-list underflow");
+      TaskRange& front = ranges_[head_];
+      const std::size_t take_now = std::min(front.count, need);
+      seconds += prefix[front.first + take_now] - prefix[front.first];
+      taken.push_back(TaskRange{front.first, take_now});
+      front.first += take_now;
+      front.count -= take_now;
+      need -= take_now;
+      if (front.count == 0 && ++head_ == ranges_.size()) {
+        ranges_.clear();  // compact when drained; capacity is kept
+        head_ = 0;
+      }
+    }
+  }
+
+ private:
+  // FIFO of free ranges: consumed at head_, reclaimed fragments
+  // appended at the back and reused in arrival order without
+  // re-scanning the list.
+  std::vector<TaskRange> ranges_;
+  std::size_t head_ = 0;
 };
+
+/// Reusable FIFO of worker indices (the serve queue; bounded by p).
+class IndexQueue {
+ public:
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+  [[nodiscard]] bool empty() const { return head_ == items_.size(); }
+  void push(std::size_t v) { items_.push_back(v); }
+  std::size_t pop() {
+    const std::size_t v = items_[head_++];
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    return v;
+  }
+
+ private:
+  std::vector<std::size_t> items_;
+  std::size_t head_ = 0;
+};
+
+struct Shared;
 
 struct WorkerState {
   Shared* shared = nullptr;
@@ -70,18 +124,107 @@ struct WorkerState {
   double failure_time = std::numeric_limits<double>::infinity();
 };
 
+/// What the platform of a cached engine was built from; runs with an
+/// equal shape reuse the engine (and its hosts/links/routes) outright.
+struct PlatformShape {
+  std::size_t workers = 0;
+  double host_speed = 0.0;
+  double bandwidth = 0.0;
+  double latency = 0.0;
+  std::vector<double> factors;
+  std::vector<simx::SpeedProfile> profiles;
+
+  /// Allocation-free equality against a Config (the cache-hit test
+  /// must not copy the Config's vectors just to compare them).
+  [[nodiscard]] bool matches(const Config& config) const {
+    return workers == config.workers && host_speed == config.host_speed &&
+           bandwidth == config.bandwidth && latency == config.latency &&
+           factors == config.worker_speed_factors &&
+           profiles == config.worker_speed_profiles;
+  }
+};
+
+}  // namespace
+
+/// All reusable run state.  Vectors are assign()ed/clear()ed per run so
+/// their capacity survives; the engine survives whole when the platform
+/// shape matches.
+struct RunContext::Impl {
+  // Engine cache (platform construction is the only per-run cost that
+  // grows with the worker count).
+  std::optional<simx::Engine> engine;
+  PlatformShape shape;
+  std::optional<simx::Mailbox<WorkRequest>> master_box;
+  std::deque<simx::Mailbox<WorkReply>> worker_boxes;  // Mailbox is immovable
+  std::vector<simx::Mailbox<WorkReply>*> worker_box_ptrs;
+
+  // Per-worker route costs, computed once per run instead of per chunk.
+  std::vector<simx::SimTime> request_delay;
+  std::vector<simx::SimTime> reply_delay;
+
+  // Serve-loop buffers.
+  std::vector<double> task_times;  ///< current step's task times
+  std::vector<double> prefix;      ///< prefix[i] = sum of task_times[0..i)
+  TaskPool pool;
+  IndexQueue to_serve;
+  std::vector<std::size_t> parked;
+  std::vector<std::size_t> tasks_per_worker;
+  std::vector<std::size_t> chunks_per_worker;
+  std::vector<char> worker_failed;
+  std::vector<char> finalized;
+  std::vector<RangeList> last_served;
+  std::vector<ChunkLogEntry> chunk_log;
+  std::vector<ServedRangeEntry> range_log;
+  std::vector<WorkerState> worker_states;
+};
+
+RunContext::RunContext() : impl_(std::make_unique<Impl>()) {}
+RunContext::~RunContext() = default;
+
+namespace {
+
+struct Shared {
+  const Config* config = nullptr;
+  dls::Technique* technique = nullptr;
+  workload::RandomSource* rng = nullptr;
+  RunContext::Impl* buf = nullptr;
+
+  // scalar outputs
+  double total_nominal_work = 0.0;
+  std::size_t chunk_count = 0;
+  std::size_t tasks_reclaimed = 0;
+};
+
+/// Rebuild the prefix-sum index over the current task times and extend
+/// the running total-nominal-work accumulator (kept as its own
+/// left-to-right sum so the reported total is independent of how chunks
+/// later partition the step).
+void rebuild_prefix(Shared& sh) {
+  const std::vector<double>& t = sh.buf->task_times;
+  std::vector<double>& prefix = sh.buf->prefix;
+  prefix.resize(t.size() + 1);
+  prefix[0] = 0.0;
+  double run = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sh.total_nominal_work += t[i];
+    run += t[i];
+    prefix[i + 1] = run;
+  }
+}
+
 /// Worker actor: request -> receive -> execute, until finalized ("When
 /// it finishes, it sends again a work request message to the master",
 /// paper Section II).  A worker whose fail-stop time arrives announces
 /// the failure together with its unfinished chunk and stops.
 simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
   Shared& sh = *st.shared;
+  RunContext::Impl& buf = *sh.buf;
   const Config& cfg = *sh.config;
   WorkRequest request{st.id, 0, 0.0, false, 0};
   for (;;) {
-    co_await sh.master_box->send_from(ctx, request, cfg.request_bytes);
+    co_await buf.master_box->send_from_delayed(ctx, request, buf.request_delay[st.id]);
     if (request.failed) break;  // announced; the master expects nothing more
-    const WorkReply reply = co_await sh.worker_boxes[st.id]->recv(ctx);
+    const WorkReply reply = co_await buf.worker_box_ptrs[st.id]->recv(ctx);
     if (reply.count == 0) break;
     // Nominal seconds are defined against the reference speed; the
     // host's own (possibly slower/faster, possibly time-varying) speed
@@ -106,40 +249,6 @@ simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
   }
 }
 
-/// Master-side free-list bookkeeping shared by the serve path.
-class TaskPool {
- public:
-  void reset(std::size_t n) { ranges_.assign(1, TaskRange{0, n}); }
-  void give_back(TaskRange range) { ranges_.push_back(range); }
-
-  /// Take `count` tasks (possibly spanning reclaimed fragments); sums
-  /// their nominal times and returns the exact sub-ranges taken (so a
-  /// failed chunk can be given back precisely).
-  std::vector<TaskRange> take(std::size_t count, const std::vector<double>& task_times,
-                              double& seconds) {
-    std::vector<TaskRange> taken;
-    std::size_t need = count;
-    seconds = 0.0;
-    while (need > 0) {
-      if (ranges_.empty()) throw std::logic_error("TaskPool: free-list underflow");
-      TaskRange& front = ranges_.front();
-      const std::size_t take_now = std::min(front.count, need);
-      for (std::size_t i = front.first; i < front.first + take_now; ++i) {
-        seconds += task_times[i];
-      }
-      taken.push_back(TaskRange{front.first, take_now});
-      front.first += take_now;
-      front.count -= take_now;
-      need -= take_now;
-      if (front.count == 0) ranges_.pop_front();
-    }
-    return taken;
-  }
-
- private:
-  std::deque<TaskRange> ranges_;
-};
-
 /// Master actor: serves chunk requests with the DLS technique,
 /// re-schedules chunks reclaimed from failed workers, and distributes
 /// finalization messages at the end (paper Figure 1).
@@ -151,26 +260,28 @@ class TaskPool {
 simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
   const Config& cfg = *sh.config;
   dls::Technique& tech = *sh.technique;
+  RunContext::Impl& buf = *sh.buf;
   const std::size_t p = cfg.workers;
-  std::vector<std::size_t> parked;  // workers waiting for the next step
+  std::vector<std::size_t>& parked = buf.parked;  // workers waiting for the next step
+  IndexQueue& to_serve = buf.to_serve;
+  TaskPool& pool = buf.pool;
   std::size_t alive = p;
-  TaskPool pool;
 
   for (std::size_t step = 0; step < cfg.timesteps; ++step) {
     if (step > 0) {
       tech.start_new_timestep();
-      sh.task_times = cfg.workload->generate(cfg.tasks, *sh.rng);
-      for (double t : sh.task_times) sh.total_nominal_work += t;
+      cfg.workload->generate_into(buf.task_times, cfg.tasks, *sh.rng);
+      rebuild_prefix(sh);
     }
     pool.reset(cfg.tasks);
     std::size_t completed_tasks = 0;  // completed in this step
-    std::deque<std::size_t> to_serve(parked.begin(), parked.end());
+    to_serve.clear();
+    for (const std::size_t worker : parked) to_serve.push(worker);
     parked.clear();
 
     while (completed_tasks < cfg.tasks) {
       if (!to_serve.empty()) {
-        const std::size_t worker = to_serve.front();
-        to_serve.pop_front();
+        const std::size_t worker = to_serve.pop();
         if (tech.remaining() == 0) {  // an earlier serve may have taken the rest
           parked.push_back(worker);
           continue;
@@ -180,30 +291,34 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
         }
         const std::size_t chunk = tech.next_chunk(dls::Request{worker, ctx.now()});
         double seconds = 0.0;
-        sh.last_served[worker] = pool.take(chunk, sh.task_times, seconds);
-        const std::size_t log_first = sh.last_served[worker].front().first;
+        RangeList& served = buf.last_served[worker];
+        pool.take(chunk, buf.prefix, seconds, served);
+        const std::size_t log_first = served.front().first;
         ++sh.chunk_count;
-        ++sh.chunks_per_worker[worker];
-        sh.tasks_per_worker[worker] += chunk;
+        ++buf.chunks_per_worker[worker];
+        buf.tasks_per_worker[worker] += chunk;
         if (cfg.record_chunk_log) {
-          sh.chunk_log.push_back(ChunkLogEntry{worker, log_first, chunk, ctx.now()});
+          for (const TaskRange& r : served) {
+            buf.range_log.push_back(ServedRangeEntry{buf.chunk_log.size(), r.first, r.count});
+          }
+          buf.chunk_log.push_back(ChunkLogEntry{worker, log_first, chunk, ctx.now(), seconds});
         }
-        co_await sh.worker_boxes[worker]->send_from(ctx, WorkReply{seconds, chunk, log_first},
-                                                    cfg.reply_bytes);
+        co_await buf.worker_box_ptrs[worker]->send_from_delayed(
+            ctx, WorkReply{seconds, chunk, log_first}, buf.reply_delay[worker]);
         continue;
       }
-      const WorkRequest request = co_await sh.master_box->recv(ctx);
+      const WorkRequest request = co_await buf.master_box->recv(ctx);
       if (request.failed) {
         // Fail-stop: reclaim the outstanding chunk and re-schedule it.
-        sh.worker_failed[request.worker] = true;
+        buf.worker_failed[request.worker] = 1;
         --alive;
         if (request.failed_size > 0) {
           // Give the worker's outstanding chunk back to the pool and to
           // the technique's unscheduled count; the surviving workers
           // will be handed those tasks again.
           tech.reclaim(request.failed_size);
-          for (const TaskRange& r : sh.last_served[request.worker]) pool.give_back(r);
-          sh.tasks_per_worker[request.worker] -= request.failed_size;
+          for (const TaskRange& r : buf.last_served[request.worker]) pool.give_back(r);
+          buf.tasks_per_worker[request.worker] -= request.failed_size;
           sh.tasks_reclaimed += request.failed_size;
         }
         if (alive == 0) {
@@ -222,26 +337,27 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
         parked.push_back(request.worker);
         continue;  // loop condition ends the step once all tasks confirmed
       }
-      to_serve.push_back(request.worker);
+      to_serve.push(request.worker);
     }
   }
 
   // All tasks of all steps completed: finalize the parked workers and
   // drain the final request of every other live worker ("On completion
   // of all tasks, the master sends finalization messages").
-  std::vector<bool> finalized(p, false);
+  buf.finalized.assign(p, 0);
   std::size_t finalized_count = 0;
   for (const std::size_t worker : parked) {
-    finalized[worker] = true;
+    buf.finalized[worker] = 1;
     ++finalized_count;
-    co_await sh.worker_boxes[worker]->send_from(ctx, WorkReply{0.0, 0, 0}, cfg.reply_bytes);
+    co_await buf.worker_box_ptrs[worker]->send_from_delayed(ctx, WorkReply{0.0, 0, 0},
+                                                            buf.reply_delay[worker]);
   }
   while (finalized_count < alive) {
-    const WorkRequest request = co_await sh.master_box->recv(ctx);
+    const WorkRequest request = co_await buf.master_box->recv(ctx);
     if (request.failed) {
       // A failure announced after its last completion: nothing to
       // reclaim (all tasks are done), the worker just leaves.
-      sh.worker_failed[request.worker] = true;
+      buf.worker_failed[request.worker] = 1;
       --alive;
       continue;
     }
@@ -249,14 +365,14 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
       tech.on_chunk_complete(dls::ChunkFeedback{request.worker, request.done_size,
                                                 request.done_exec_time, ctx.now()});
     }
-    if (finalized[request.worker]) {
+    if (buf.finalized[request.worker]) {
       throw std::logic_error("worker " + std::to_string(request.worker) +
                              " requested after finalization");
     }
-    finalized[request.worker] = true;
+    buf.finalized[request.worker] = 1;
     ++finalized_count;
-    co_await sh.worker_boxes[request.worker]->send_from(ctx, WorkReply{0.0, 0, 0},
-                                                        cfg.reply_bytes);
+    co_await buf.worker_box_ptrs[request.worker]->send_from_delayed(
+        ctx, WorkReply{0.0, 0, 0}, buf.reply_delay[request.worker]);
   }
 }
 
@@ -286,27 +402,79 @@ void validate(const Config& cfg) {
 
 }  // namespace
 
-RunResult run_simulation(const Config& config) {
+RunResult run_simulation(const Config& config, RunContext& context) {
   validate(config);
+  RunContext::Impl& buf = *context.impl_;
+  const std::size_t p = config.workers;
 
-  simx::Platform platform;
-  platform.add_host("master", config.host_speed);
-  for (std::size_t i = 0; i < config.workers; ++i) {
-    const double factor =
-        config.worker_speed_factors.empty() ? 1.0 : config.worker_speed_factors[i];
-    const std::string host = "w" + std::to_string(i);
-    simx::Host& worker_host = platform.add_host(host, config.host_speed * factor);
-    if (!config.worker_speed_profiles.empty()) {
-      worker_host.set_speed_profile(config.worker_speed_profiles[i]);
+  // A run that throws can leave actors stuck and mailboxes non-empty;
+  // drop the cached engine in that case so the next run starts clean.
+  struct CacheGuard {
+    RunContext::Impl* buf;
+    bool ok = false;
+    ~CacheGuard() {
+      if (ok) return;
+      buf->master_box.reset();
+      buf->worker_boxes.clear();
+      buf->worker_box_ptrs.clear();
+      buf->engine.reset();
     }
-    platform.add_link("l" + std::to_string(i), config.bandwidth, config.latency);
-    platform.add_route("master", host, {"l" + std::to_string(i)});
+  } guard{&buf};
+
+  if (!buf.engine.has_value() || !buf.shape.matches(config)) {
+    buf.master_box.reset();
+    buf.worker_boxes.clear();
+    buf.worker_box_ptrs.clear();
+    buf.engine.reset();
+
+    simx::Platform platform;
+    platform.add_host("master", config.host_speed);
+    for (std::size_t i = 0; i < p; ++i) {
+      const double factor =
+          config.worker_speed_factors.empty() ? 1.0 : config.worker_speed_factors[i];
+      const std::string& host_name = simx::indexed_name("w", i);
+      simx::Host& worker_host = platform.add_host(host_name, config.host_speed * factor);
+      if (!config.worker_speed_profiles.empty()) {
+        worker_host.set_speed_profile(config.worker_speed_profiles[i]);
+      }
+      const std::string& link_name = simx::indexed_name("l", i);
+      platform.add_link(link_name, config.bandwidth, config.latency);
+      platform.add_route("master", host_name, {link_name});
+    }
+    buf.engine.emplace(std::move(platform));
+    buf.shape = PlatformShape{p,
+                              config.host_speed,
+                              config.bandwidth,
+                              config.latency,
+                              config.worker_speed_factors,
+                              config.worker_speed_profiles};
+  } else {
+    buf.engine->reset();
+  }
+  simx::Engine& engine = *buf.engine;
+  simx::Platform& plat = engine.platform();
+  simx::Host& master_host = plat.host_at(0);
+
+  if (!buf.master_box.has_value()) buf.master_box.emplace(engine, "master", master_host);
+  if (buf.worker_boxes.size() != p) {
+    buf.worker_boxes.clear();
+    buf.worker_box_ptrs.clear();
+    for (std::size_t i = 0; i < p; ++i) {
+      buf.worker_boxes.emplace_back(engine, simx::indexed_name("w", i), plat.host_at(i + 1));
+      buf.worker_box_ptrs.push_back(&buf.worker_boxes.back());
+    }
   }
 
-  simx::Engine engine(std::move(platform));
+  buf.request_delay.resize(p);
+  buf.reply_delay.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    simx::Host& worker_host = plat.host_at(i + 1);
+    buf.request_delay[i] = plat.comm_time(worker_host, master_host, config.request_bytes);
+    buf.reply_delay[i] = plat.comm_time(master_host, worker_host, config.reply_bytes);
+  }
 
   dls::Params params = config.params;
-  params.p = config.workers;
+  params.p = p;
   params.n = config.tasks;
   const auto technique = dls::make_technique(config.technique, params);
 
@@ -321,42 +489,50 @@ RunResult run_simulation(const Config& config) {
   shared.config = &config;
   shared.technique = technique.get();
   shared.rng = rng.get();
-  shared.tasks_per_worker.assign(config.workers, 0);
-  shared.chunks_per_worker.assign(config.workers, 0);
-  shared.worker_failed.assign(config.workers, false);
-  shared.last_served.assign(config.workers, {});
-  shared.task_times = config.workload->generate(config.tasks, *rng);
-  for (double t : shared.task_times) shared.total_nominal_work += t;
+  shared.buf = &buf;
+  buf.tasks_per_worker.assign(p, 0);
+  buf.chunks_per_worker.assign(p, 0);
+  buf.worker_failed.assign(p, 0);
+  buf.last_served.resize(p);
+  for (RangeList& ranges : buf.last_served) ranges.clear();
+  buf.parked.clear();
+  buf.to_serve.clear();
+  buf.chunk_log.clear();
+  buf.range_log.clear();
+  if (config.record_chunk_log) {
+    // The chunk count is technique-dependent and unknown up front;
+    // seed the log with a capacity that covers typical non-SS runs.
+    const std::size_t estimate =
+        std::min(config.tasks * config.timesteps, 64 + 16 * p * config.timesteps);
+    buf.chunk_log.reserve(estimate);
+    buf.range_log.reserve(estimate);
+  }
+  config.workload->generate_into(buf.task_times, config.tasks, *rng);
+  rebuild_prefix(shared);
 
-  simx::Mailbox<WorkRequest> master_box(engine, "master", engine.platform().host("master"));
-  shared.master_box = &master_box;
-  std::vector<std::unique_ptr<simx::Mailbox<WorkReply>>> worker_boxes;
-  for (std::size_t i = 0; i < config.workers; ++i) {
-    worker_boxes.push_back(std::make_unique<simx::Mailbox<WorkReply>>(
-        engine, "w" + std::to_string(i), engine.platform().host("w" + std::to_string(i))));
-    shared.worker_boxes.push_back(worker_boxes.back().get());
+  buf.worker_states.assign(p, WorkerState{});
+  for (std::size_t i = 0; i < p; ++i) {
+    buf.worker_states[i].shared = &shared;
+    buf.worker_states[i].id = i;
+    if (!config.worker_failure_times.empty()) {
+      buf.worker_states[i].failure_time = config.worker_failure_times[i];
+    }
   }
 
-  engine.spawn("master", engine.platform().host("master"),
+  engine.reserve_events(2 * p + 16);
+  engine.spawn("master", master_host,
                [&shared](simx::Context& ctx) { return master_actor(ctx, shared); });
-  std::vector<WorkerState> worker_states(config.workers);
-  for (std::size_t i = 0; i < config.workers; ++i) {
-    worker_states[i].shared = &shared;
-    worker_states[i].id = i;
-    if (!config.worker_failure_times.empty()) {
-      worker_states[i].failure_time = config.worker_failure_times[i];
-    }
-    engine.spawn("worker" + std::to_string(i), engine.platform().host("w" + std::to_string(i)),
-                 [&worker_states, i](simx::Context& ctx) {
-                   return worker_actor(ctx, worker_states[i]);
+  for (std::size_t i = 0; i < p; ++i) {
+    engine.spawn(simx::indexed_name("worker", i), plat.host_at(i + 1),
+                 [&buf, i](simx::Context& ctx) {
+                   return worker_actor(ctx, buf.worker_states[i]);
                  });
   }
 
   const simx::SimTime makespan = engine.run();
-  const std::vector<std::string> stuck = engine.unfinished_actors();
-  if (!stuck.empty()) {
-    throw std::runtime_error("simulation deadlock: actor '" + stuck.front() +
-                             "' never finished");
+  if (!engine.all_finished()) {
+    throw std::runtime_error("simulation deadlock: actor '" +
+                             engine.unfinished_actors().front() + "' never finished");
   }
 
   RunResult result;
@@ -364,21 +540,27 @@ RunResult run_simulation(const Config& config) {
   result.total_nominal_work = shared.total_nominal_work;
   result.chunk_count = shared.chunk_count;
   result.tasks_reclaimed = shared.tasks_reclaimed;
-  result.chunk_log = std::move(shared.chunk_log);
-  const std::vector<simx::ActorAccounting> accounting = engine.accounting();
-  result.master_busy_time = accounting.front().computing;
-  result.workers.resize(config.workers);
-  for (std::size_t i = 0; i < config.workers; ++i) {
-    const simx::ActorAccounting& acc = accounting[i + 1];  // spawn order: master first
+  result.chunk_log = std::move(buf.chunk_log);
+  result.range_log = std::move(buf.range_log);
+  result.master_busy_time = engine.actor_times(0).computing;
+  result.workers.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const simx::ActorTimes acc = engine.actor_times(i + 1);  // spawn order: master first
     WorkerStats& w = result.workers[i];
     w.compute_time = acc.computing;
     w.wait_time = acc.waiting + (makespan - acc.finished_at);  // idle after finalization too
     w.comm_time = acc.communicating;
-    w.tasks = shared.tasks_per_worker[i];
-    w.chunks = shared.chunks_per_worker[i];
-    w.failed = shared.worker_failed[i];
+    w.tasks = buf.tasks_per_worker[i];
+    w.chunks = buf.chunks_per_worker[i];
+    w.failed = buf.worker_failed[i] != 0;
   }
+  guard.ok = true;
   return result;
+}
+
+RunResult run_simulation(const Config& config) {
+  RunContext context;
+  return run_simulation(config, context);
 }
 
 }  // namespace mw

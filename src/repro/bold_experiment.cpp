@@ -3,13 +3,16 @@
 #include <stdexcept>
 
 #include "hagerup/simulator.hpp"
-#include "mw/metrics.hpp"
-#include "mw/simulation.hpp"
+#include "mw/batch.hpp"
 #include "support/parallel_for.hpp"
 #include "workload/task_times.hpp"
 
 namespace repro {
 namespace {
+
+/// The per-run seed stride of the simx side (any odd constant would do;
+/// kept since the first reproduction runs so results stay comparable).
+constexpr std::uint64_t kSimSeedStride = 104729;
 
 /// Mean/stddev of `runs` independent evaluations of `per_run`,
 /// parallelized across threads (each run is seeded independently).
@@ -44,9 +47,9 @@ double hagerup_run(const BoldOptions& options, dls::Kind technique, std::size_t 
   return hagerup::run(cfg).avg_wasted_time;
 }
 
-mw::Config make_sim_config(const BoldOptions& options, dls::Kind technique, std::size_t pes,
-                           std::size_t run_index) {
-  mw::Config cfg;
+mw::BatchJob make_sim_job(const BoldOptions& options, dls::Kind technique, std::size_t pes) {
+  mw::BatchJob job;
+  mw::Config& cfg = job.config;
   cfg.technique = technique;
   cfg.workers = pes;
   cfg.tasks = options.tasks;
@@ -57,15 +60,10 @@ mw::Config make_sim_config(const BoldOptions& options, dls::Kind technique, std:
   cfg.overhead_mode = mw::OverheadMode::kAnalytic;  // paper Section III-B
   // Null network: "bandwidth to a very high value and the latency to a
   // very low value" -- defaults of mw::Config already encode this.
-  cfg.seed = options.seed_simgrid + 104729 * run_index;
-  return cfg;
-}
-
-double simgrid_run(const BoldOptions& options, dls::Kind technique, std::size_t pes,
-                   std::size_t run_index) {
-  const mw::Config cfg = make_sim_config(options, technique, pes, run_index);
-  const mw::RunResult result = mw::run_simulation(cfg);
-  return mw::compute_metrics(result, cfg).avg_wasted_time;
+  cfg.seed = options.seed_simgrid;
+  job.replicas = options.runs;
+  job.seed_stride = kSimSeedStride;
+  return job;
 }
 
 }  // namespace
@@ -89,7 +87,21 @@ support::Table bold_grid_table() {
 
 std::vector<BoldCell> run_bold_experiment(const BoldOptions& options) {
   if (options.runs == 0) throw std::invalid_argument("BoldOptions.runs must be >= 1");
+
+  // The simx side routes through the batched runner: all cells of the
+  // grid become one flattened job list, so threads stay busy across
+  // cell boundaries and per-thread engines are reused.
+  std::vector<mw::BatchJob> jobs;
+  for (const dls::Kind technique : options.techniques) {
+    for (const std::size_t pes : options.pes) {
+      jobs.push_back(make_sim_job(options, technique, pes));
+    }
+  }
+  const mw::BatchRunner runner(mw::BatchRunner::Options{options.threads, 1, false});
+  const std::vector<mw::BatchResult> sim_results = runner.run(jobs);
+
   std::vector<BoldCell> cells;
+  std::size_t job_index = 0;
   for (const dls::Kind technique : options.techniques) {
     for (const std::size_t pes : options.pes) {
       BoldCell cell;
@@ -98,9 +110,7 @@ std::vector<BoldCell> run_bold_experiment(const BoldOptions& options) {
       const stats::Summary original =
           collect(options.runs, options.threads,
                   [&](std::size_t i) { return hagerup_run(options, technique, pes, i); });
-      const stats::Summary simgrid =
-          collect(options.runs, options.threads,
-                  [&](std::size_t i) { return simgrid_run(options, technique, pes, i); });
+      const stats::Summary& simgrid = sim_results[job_index++].avg_wasted_time;
       cell.original = original.mean;
       cell.original_stddev = original.stddev;
       cell.simgrid = simgrid.mean;
@@ -114,11 +124,11 @@ std::vector<BoldCell> run_bold_experiment(const BoldOptions& options) {
 
 std::vector<double> bold_sim_run_series(const BoldOptions& options, dls::Kind technique,
                                         std::size_t pes) {
-  std::vector<double> values(options.runs);
-  support::parallel_for(
-      options.runs, [&](std::size_t i) { values[i] = simgrid_run(options, technique, pes, i); },
-      options.threads);
-  return values;
+  mw::BatchRunner::Options batch_options;
+  batch_options.threads = options.threads;
+  batch_options.keep_values = true;
+  const mw::BatchRunner runner(batch_options);
+  return runner.run_one(make_sim_job(options, technique, pes)).wasted_values;
 }
 
 namespace {

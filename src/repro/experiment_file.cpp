@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mw/batch.hpp"
+#include "mw/metrics.hpp"
 #include "mw/simulation.hpp"
 #include "support/table.hpp"
 #include "workload/task_times.hpp"
@@ -43,8 +45,9 @@ bool to_bool(const std::string& v, std::size_t line_no) {
 
 }  // namespace
 
-mw::Config parse_experiment(std::string_view text) {
-  mw::Config cfg;
+ExperimentSpec parse_experiment_spec(std::string_view text) {
+  ExperimentSpec spec;
+  mw::Config& cfg = spec.config;
   cfg.workers = 0;  // force an explicit 'workers' key (Config defaults to 1)
   bool have_mu = false;
   bool have_sigma = false;
@@ -104,6 +107,11 @@ mw::Config parse_experiment(std::string_view text) {
       cfg.params.gss_min_chunk = to_size(value, line_no);
     } else if (key == "rand48") {
       cfg.use_rand48 = to_bool(value, line_no);
+    } else if (key == "replicas") {
+      spec.replicas = to_size(value, line_no);
+      if (spec.replicas == 0) parse_error(line_no, "replicas must be >= 1");
+    } else if (key == "threads") {
+      spec.threads = static_cast<unsigned>(to_size(value, line_no));
     } else {
       parse_error(line_no, "unknown key: " + key);
     }
@@ -114,11 +122,17 @@ mw::Config parse_experiment(std::string_view text) {
   if (cfg.workers == 0) throw std::invalid_argument("experiment: missing 'workers'");
   if (!have_mu) cfg.params.mu = cfg.workload->mean();
   if (!have_sigma) cfg.params.sigma = cfg.workload->stddev();
-  return cfg;
+  return spec;
 }
 
-void run_experiment_file(std::string_view text, std::ostream& out) {
-  const mw::Config cfg = parse_experiment(text);
+mw::Config parse_experiment(std::string_view text) {
+  return parse_experiment_spec(text).config;
+}
+
+namespace {
+
+void print_single_run(const ExperimentSpec& spec, std::ostream& out) {
+  const mw::Config& cfg = spec.config;
   const mw::RunResult result = mw::run_simulation(cfg);
   const mw::Metrics metrics = mw::compute_metrics(result, cfg);
 
@@ -135,6 +149,42 @@ void run_experiment_file(std::string_view text, std::ostream& out) {
   table.add_row({"overhead degree", support::fmt(metrics.overhead_degree, 3)});
   table.add_row({"imbalance degree", support::fmt(metrics.imbalance_degree, 3)});
   table.print(out);
+}
+
+void print_replica_summary(const ExperimentSpec& spec, std::ostream& out) {
+  mw::BatchJob job;
+  job.config = spec.config;
+  job.replicas = spec.replicas;
+  mw::BatchRunner::Options options;
+  options.threads = spec.threads;
+  const mw::BatchResult r = mw::BatchRunner(options).run_one(job);
+
+  const mw::Config& cfg = spec.config;
+  out << "technique " << dls::to_string(cfg.technique) << ", " << cfg.tasks << " tasks x "
+      << cfg.timesteps << " timesteps, " << cfg.workers << " workers, "
+      << cfg.workload->name() << ", " << spec.replicas << " replicas (seeds " << cfg.seed
+      << ".." << cfg.seed + spec.replicas - 1 << ")\n";
+  support::Table table({"measured value", "mean", "stddev", "min", "max"});
+  auto row = [&](const char* name, const stats::Summary& s, int digits) {
+    table.add_row({name, support::fmt(s.mean, digits), support::fmt(s.stddev, digits),
+                   support::fmt(s.min, digits), support::fmt(s.max, digits)});
+  };
+  row("makespan [s]", r.makespan, 4);
+  row("average wasted time [s]", r.avg_wasted_time, 4);
+  row("speedup", r.speedup, 3);
+  row("scheduling operations", r.chunks, 1);
+  table.print(out);
+}
+
+}  // namespace
+
+void run_experiment_file(std::string_view text, std::ostream& out) {
+  const ExperimentSpec spec = parse_experiment_spec(text);
+  if (spec.replicas <= 1) {
+    print_single_run(spec, out);
+  } else {
+    print_replica_summary(spec, out);
+  }
 }
 
 }  // namespace repro

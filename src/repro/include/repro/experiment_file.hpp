@@ -29,13 +29,29 @@ namespace repro {
 ///   css_chunk 0
 ///   gss_min   1
 ///   rand48    false
+///   replicas  1               # > 1 batches independent seeds (mw::BatchRunner)
+///   threads   0               # worker threads for replicas (0 = hardware)
 ///
-/// Unknown keys are an error (a typo must not silently change an
-/// experiment).  Throws std::invalid_argument with a line number.
+/// A parsed experiment: the simulation Config plus the execution
+/// dimensions that live outside a single run.
+struct ExperimentSpec {
+  mw::Config config;
+  std::size_t replicas = 1;  ///< replica r runs with seed + r
+  unsigned threads = 0;
+};
+
+/// Parse the format described above.  Unknown keys are an error (a
+/// typo must not silently change an experiment).  Throws
+/// std::invalid_argument with a line number.
+[[nodiscard]] ExperimentSpec parse_experiment_spec(std::string_view text);
+
+/// Backward-compatible view: the Config of parse_experiment_spec.
 [[nodiscard]] mw::Config parse_experiment(std::string_view text);
 
 /// Run the experiment described by `text` and render the measured
-/// values (paper Figure 2: "Measured Value(s)") to `out`.
+/// values (paper Figure 2: "Measured Value(s)") to `out`.  With
+/// replicas > 1 the runs are batched through mw::BatchRunner and the
+/// summary statistics of the measured values are rendered instead.
 void run_experiment_file(std::string_view text, std::ostream& out);
 
 }  // namespace repro

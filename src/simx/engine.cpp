@@ -21,8 +21,9 @@ void Actor::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
 }
 
 TimedSuspend::TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
-                           ActorState during)
-    : engine_(&engine), control_(&control), wake_at_(wake_at), during_(during) {
+                           ActorState during, MailboxBase* deliver)
+    : engine_(&engine), control_(&control), wake_at_(wake_at), during_(during),
+      deliver_(deliver) {
   if (wake_at_ < engine_->now()) {
     throw std::logic_error("TimedSuspend: wake-up time lies in the past");
   }
@@ -30,12 +31,18 @@ TimedSuspend::TimedSuspend(Engine& engine, detail::ActorControl& control, SimTim
 
 bool TimedSuspend::await_ready() const noexcept {
   // Zero-duration activities complete immediately without suspension.
+  // (A pending delivery always has wake_at > now, so it never skips
+  // the suspension below.)
   return wake_at_ <= engine_->now();
 }
 
 void TimedSuspend::await_suspend(std::coroutine_handle<> handle) const {
   control_->set_state(during_, engine_->now());
-  engine_->schedule_resume(wake_at_, handle);
+  if (deliver_ != nullptr) {
+    engine_->schedule_delivery_then_resume(wake_at_, *deliver_, handle);
+  } else {
+    engine_->schedule_resume(wake_at_, handle);
+  }
 }
 
 void TimedSuspend::await_resume() const {
@@ -96,7 +103,8 @@ SimTime Engine::run() {
     now_ = event.time;
     if (event.mailbox != nullptr) {
       event.mailbox->on_deliver();
-    } else if (event.resume && !event.resume.done()) {
+    }
+    if (event.resume && !event.resume.done()) {
       event.resume.resume();
     }
   }
@@ -105,6 +113,43 @@ SimTime Engine::run() {
     if (control->exception) std::rethrow_exception(control->exception);
   }
   return now_;
+}
+
+void Engine::reset() {
+  if (running_) throw std::logic_error("Engine::reset is not allowed during run()");
+  for (auto& control : actors_) {
+    if (control->handle) control->handle.destroy();
+  }
+  actors_.clear();
+  events_.clear();  // keeps the heap's capacity
+  now_ = 0.0;
+  sequence_ = 0;
+}
+
+void Engine::reserve_events(std::size_t count) { events_.reserve(count); }
+
+ActorTimes Engine::actor_times(std::size_t index) const {
+  const detail::ActorControl& control = *actors_.at(index);
+  ActorTimes times;
+  times.finished = control.finished;
+  times.finished_at = control.finished_at;
+  auto time_in = [&](ActorState s) {
+    double t = control.time_in(s);
+    if (control.state == s) t += now_ - control.last_transition;
+    return t;
+  };
+  times.computing = time_in(ActorState::kComputing);
+  times.communicating = time_in(ActorState::kCommunicating);
+  times.sleeping = time_in(ActorState::kSleeping);
+  times.waiting = time_in(ActorState::kWaitingRecv);
+  return times;
+}
+
+bool Engine::all_finished() const {
+  for (const auto& control : actors_) {
+    if (!control->finished) return false;
+  }
+  return true;
 }
 
 std::vector<std::string> Engine::unfinished_actors() const {
@@ -144,6 +189,11 @@ void Engine::schedule_resume(SimTime t, std::coroutine_handle<> handle) {
 
 void Engine::schedule_delivery(SimTime t, MailboxBase& mailbox) {
   push_event(Event{t, next_sequence(), {}, &mailbox});
+}
+
+void Engine::schedule_delivery_then_resume(SimTime t, MailboxBase& mailbox,
+                                           std::coroutine_handle<> handle) {
+  push_event(Event{t, next_sequence(), handle, &mailbox});
 }
 
 void Engine::push_event(Event event) {

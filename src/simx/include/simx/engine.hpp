@@ -116,13 +116,31 @@ struct ActorAccounting {
   double waiting = 0.0;
 };
 
+/// Allocation-free accounting for one actor (see Engine::actor_times):
+/// the numeric part of ActorAccounting without the name/host strings,
+/// for callers that read accounting once per run on a hot path.
+struct ActorTimes {
+  bool finished = false;
+  SimTime finished_at = 0.0;
+  double computing = 0.0;
+  double communicating = 0.0;
+  double sleeping = 0.0;
+  double waiting = 0.0;
+};
+
 /// Awaitable that suspends the current actor until a fixed virtual
 /// time, accounting the waiting period to a given state.  Building
 /// block for execute/sleep/send.
+///
+/// With `deliver` set, the wake-up event also delivers that mailbox's
+/// next in-flight message immediately before resuming the actor -- the
+/// blocking-send fast path, which folds the delivery event and the
+/// sender's resume event (always adjacent in time and sequence) into
+/// one event-heap entry.
 class TimedSuspend {
  public:
   TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
-               ActorState during);
+               ActorState during, MailboxBase* deliver = nullptr);
 
   [[nodiscard]] bool await_ready() const noexcept;
   void await_suspend(std::coroutine_handle<> handle) const;
@@ -133,6 +151,7 @@ class TimedSuspend {
   detail::ActorControl* control_;
   SimTime wake_at_;
   ActorState during_;
+  MailboxBase* deliver_;
 };
 
 /// The per-actor API surface (analog of the MSG process functions).
@@ -203,15 +222,37 @@ class Engine {
   /// Returns the final virtual time (the makespan when all actors end).
   SimTime run();
 
+  /// Destroy all actors and pending events and rewind the clock to 0,
+  /// keeping the platform (hosts, links, routes) and the event-heap
+  /// capacity.  This is what makes per-thread engine reuse across a
+  /// batch of runs cheap: the platform -- the only construction cost
+  /// that grows with the worker count -- is built once.
+  void reset();
+
+  /// Pre-size the event heap (chunk serving schedules a handful of
+  /// events per in-flight worker; reserving avoids regrowth mid-run).
+  void reserve_events(std::size_t count);
+
   /// Actors that have not finished (e.g. blocked in recv forever).
   [[nodiscard]] std::vector<std::string> unfinished_actors() const;
+  /// Allocation-free "did every actor finish" check (the happy path of
+  /// the post-run deadlock test).
+  [[nodiscard]] bool all_finished() const;
   /// Per-actor accounting, in spawn order.  Unfinished actors accrue
   /// their current state up to now().
   [[nodiscard]] std::vector<ActorAccounting> accounting() const;
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  /// Numeric accounting of the actor at `index` (spawn order) without
+  /// materializing name strings; same accrual rule as accounting().
+  [[nodiscard]] ActorTimes actor_times(std::size_t index) const;
 
   /// --- engine-internal API used by awaitables and mailboxes ---
   void schedule_resume(SimTime t, std::coroutine_handle<> handle);
   void schedule_delivery(SimTime t, MailboxBase& mailbox);
+  /// One event that delivers `mailbox`'s next message and then resumes
+  /// `handle` (see TimedSuspend's deliver parameter).
+  void schedule_delivery_then_resume(SimTime t, MailboxBase& mailbox,
+                                     std::coroutine_handle<> handle);
   [[nodiscard]] std::uint64_t next_sequence() { return sequence_++; }
 
  private:
@@ -220,6 +261,7 @@ class Engine {
     std::uint64_t seq = 0;
     std::coroutine_handle<> resume{};  // valid for resume events
     MailboxBase* mailbox = nullptr;    // valid for delivery events
+    // An event with both fields delivers first, then resumes.
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -227,13 +269,19 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with access to the underlying vector, so reset()
+  /// can keep its capacity and reserve_events() can pre-size it.
+  struct EventQueue : std::priority_queue<Event, std::vector<Event>, EventLater> {
+    void clear() { c.clear(); }
+    void reserve(std::size_t count) { c.reserve(count); }
+  };
 
   void push_event(Event event);
 
   Platform platform_;
   SimTime now_ = 0.0;
   std::uint64_t sequence_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  EventQueue events_;
   std::vector<std::unique_ptr<detail::ActorControl>> actors_;
   bool running_ = false;
 };

@@ -54,10 +54,30 @@ class Mailbox final : public MailboxBase {
   /// the returned awaitable holds the sender in kCommunicating until
   /// the transfer completes.  Usage: `co_await mb.send_from(ctx, v, b);`
   [[nodiscard]] TimedSuspend send_from(Context& ctx, T value, std::size_t bytes) {
-    const SimTime delay = engine_->platform().comm_time(ctx.host(), *location_, bytes);
-    put_delayed(std::move(value), delay);
-    return TimedSuspend(*engine_, ctx.control(), engine_->now() + delay,
-                        ActorState::kCommunicating);
+    return send_from_delayed(ctx, std::move(value),
+                             engine_->platform().comm_time(ctx.host(), *location_, bytes));
+  }
+
+  /// Blocking send with a precomputed transfer delay, bypassing the
+  /// per-message route lookup -- for senders on a fixed route that
+  /// cache the comm cost once per run (the master-worker serve loop).
+  ///
+  /// The returned awaitable MUST be co_awaited: for positive delays the
+  /// message delivery rides on the sender's wake-up event (one
+  /// event-heap entry instead of two, identical ordering since the two
+  /// events were always adjacent in time and sequence).
+  [[nodiscard]] TimedSuspend send_from_delayed(Context& ctx, T value, SimTime delay) {
+    const SimTime at = engine_->now() + delay;
+    if (at <= engine_->now()) {
+      // Zero delay -- including a positive delay that rounds away
+      // against a large current time -- completes without suspending,
+      // so the delivery needs its own event.
+      put_delayed(std::move(value), delay);
+      return TimedSuspend(*engine_, ctx.control(), engine_->now(),
+                          ActorState::kCommunicating);
+    }
+    in_flight_.push(InFlight{at, engine_->next_sequence(), std::move(value)});
+    return TimedSuspend(*engine_, ctx.control(), at, ActorState::kCommunicating, this);
   }
 
   /// Awaitable receive: resumes with the next visible message; the

@@ -23,7 +23,16 @@ struct SpeedProfile {
 
   /// Validates invariants; throws std::invalid_argument.
   void validate() const;
+
+  [[nodiscard]] bool operator==(const SpeedProfile&) const = default;
 };
+
+/// Process-wide interned "<prefix><index>" name ("w0", "l17", ...).
+/// The returned reference stays valid for the process lifetime.  Star
+/// platforms and mailboxes are rebuilt for every simulated run; the
+/// numbered name strings are shared across all of them instead of being
+/// re-concatenated per run.  Thread-safe.
+[[nodiscard]] const std::string& indexed_name(std::string_view prefix, std::size_t index);
 
 /// A processing element of the simulated platform (paper Figure 2:
 /// "Hosts: Speed, Number of Cores").  A PE in this work is a single

@@ -2,12 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 
 namespace simx {
+
+const std::string& indexed_name(std::string_view prefix, std::size_t index) {
+  // deque gives stable references under push_back; the map's nodes are
+  // stable too, so returned references never move.
+  static std::shared_mutex mutex;
+  static std::map<std::string, std::deque<std::string>, std::less<>> tables;
+  {
+    std::shared_lock lock(mutex);
+    const auto it = tables.find(prefix);
+    if (it != tables.end() && index < it->second.size()) return it->second[index];
+  }
+  std::unique_lock lock(mutex);
+  std::deque<std::string>& table = tables.try_emplace(std::string(prefix)).first->second;
+  while (table.size() <= index) {
+    table.push_back(std::string(prefix) + std::to_string(table.size()));
+  }
+  return table[index];
+}
 
 void SpeedProfile::validate() const {
   if (time_points.empty() || time_points.size() != speeds.size()) {
@@ -141,8 +163,8 @@ Platform make_star_platform(std::size_t workers, double speed, double bandwidth,
   Platform p;
   p.add_host("master", speed);
   for (std::size_t i = 0; i < workers; ++i) {
-    const std::string host = "w" + std::to_string(i);
-    const std::string link = "l" + std::to_string(i);
+    const std::string& host = indexed_name("w", i);
+    const std::string& link = indexed_name("l", i);
     p.add_host(host, speed);
     p.add_link(link, bandwidth, latency);
     p.add_route("master", host, {link});

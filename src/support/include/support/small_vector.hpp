@@ -1,0 +1,101 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+namespace support {
+
+/// Minimal inline-storage vector for trivially copyable value types.
+///
+/// The first `N` elements live inside the object; pushing beyond `N`
+/// moves the contents to the heap.  Built for the simulation hot path,
+/// where per-chunk range lists almost always hold exactly one element
+/// (they only grow past one after a worker failure fragments the task
+/// pool) and must not allocate in steady state.  clear() keeps the heap
+/// buffer, so a reused SmallVector stops allocating once it has seen
+/// its high-water mark.
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(N > 0);
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallVector() = default;
+  SmallVector(const SmallVector& other) { *this = other; }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    std::copy(other.begin(), other.end(), data_);
+    size_ = other.size_;
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { *this = std::move(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    if (data_ != inline_) delete[] data_;
+    if (other.data_ != other.inline_) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = inline_;
+      capacity_ = N;
+      size_ = other.size_;
+      std::copy(other.inline_, other.inline_ + other.size_, inline_);
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~SmallVector() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool is_inline() const { return data_ == inline_; }
+
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T& front() { return data_[0]; }
+  [[nodiscard]] const T& front() const { return data_[0]; }
+  [[nodiscard]] T& back() { return data_[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t wanted) {
+    if (wanted <= capacity_) return;
+    const std::size_t cap = std::max(wanted, capacity_ * 2);
+    T* heap = new T[cap];
+    std::copy(data_, data_ + size_, heap);
+    if (data_ != inline_) delete[] data_;
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  // By value: an argument aliasing this vector's own storage must be
+  // copied out before reserve() frees the old buffer.
+  void push_back(T value) {
+    if (size_ == capacity_) reserve(size_ + 1);
+    data_[size_++] = value;
+  }
+
+ private:
+  T inline_[N];
+  T* data_ = inline_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace support

@@ -39,6 +39,9 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& bod
       if (begin >= count || failed.load(std::memory_order_relaxed)) return;
       const std::size_t end = std::min(begin + grain, count);
       for (std::size_t i = begin; i < end; ++i) {
+        // Re-check inside the grain: a sweep that failed elsewhere must
+        // not keep simulating up to grain-1 extra replicas per thread.
+        if (failed.load(std::memory_order_relaxed)) return;
         try {
           body(i);
         } catch (...) {

@@ -37,6 +37,18 @@ class TaskTimeGenerator {
 
   /// Materialize all n task times (the per-run workload vector).
   [[nodiscard]] std::vector<double> generate(std::size_t n, RandomSource& rng) const;
+
+  /// Fill `out` (resized to n) with the same values generate() would
+  /// produce, reusing out's capacity.  This is the simulation hot path:
+  /// a time-stepping run regenerates the workload every step, and the
+  /// master must not allocate for it in steady state.
+  void generate_into(std::vector<double>& out, std::size_t n, RandomSource& rng) const;
+
+ protected:
+  /// Bulk-fill hook: out[i] = sample(i, n, rng) for i in [0, n).
+  /// Hot generators override this with a devirtualized tight loop; the
+  /// values must be bit-identical to per-sample generation.
+  virtual void do_generate_into(double* out, std::size_t n, RandomSource& rng) const;
 };
 
 /// Every task takes exactly `value` seconds (TSS experiments 1 and 2).

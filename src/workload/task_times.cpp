@@ -1,5 +1,6 @@
 #include "workload/task_times.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <sstream>
@@ -9,9 +10,19 @@
 namespace workload {
 
 std::vector<double> TaskTimeGenerator::generate(std::size_t n, RandomSource& rng) const {
-  std::vector<double> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = sample(i, n, rng);
+  std::vector<double> out;
+  generate_into(out, n, rng);
   return out;
+}
+
+void TaskTimeGenerator::generate_into(std::vector<double>& out, std::size_t n,
+                                      RandomSource& rng) const {
+  out.resize(n);
+  if (n > 0) do_generate_into(out.data(), n, rng);
+}
+
+void TaskTimeGenerator::do_generate_into(double* out, std::size_t n, RandomSource& rng) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = sample(i, n, rng);
 }
 
 namespace {
@@ -24,6 +35,9 @@ class Constant final : public TaskTimeGenerator {
  public:
   explicit Constant(double value) : value_(value) { require_positive(value, "constant value"); }
   double sample(std::size_t, std::size_t, RandomSource&) const override { return value_; }
+  void do_generate_into(double* out, std::size_t n, RandomSource&) const override {
+    std::fill(out, out + n, value_);
+  }
   double mean() const override { return value_; }
   double stddev() const override { return 0.0; }
   std::string name() const override { return "constant(" + std::to_string(value_) + ")"; }
@@ -56,6 +70,12 @@ class Exponential final : public TaskTimeGenerator {
   double sample(std::size_t, std::size_t, RandomSource& rng) const override {
     // Inverse CDF; 1-u in (0,1] so log() never sees zero.
     return -mu_ * std::log(1.0 - rng.uniform01());
+  }
+  void do_generate_into(double* out, std::size_t n, RandomSource& rng) const override {
+    // Same inverse-CDF arithmetic as sample(); only the per-element
+    // virtual dispatch is hoisted out of the loop.
+    const double mu = mu_;
+    for (std::size_t i = 0; i < n; ++i) out[i] = -mu * std::log(1.0 - rng.uniform01());
   }
   double mean() const override { return mu_; }
   double stddev() const override { return mu_; }

@@ -1,0 +1,130 @@
+// mw::BatchRunner: the batched entry point of the experiments.  The
+// contract under test: results are aggregated per job, deterministic in
+// (job, replica) regardless of thread count, and identical to running
+// the replicas one by one through run_simulation/compute_metrics.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mw/batch.hpp"
+#include "mw/metrics.hpp"
+#include "mw/simulation.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+using dls::Kind;
+
+mw::BatchJob make_job(Kind kind, std::size_t workers, std::size_t tasks, std::size_t replicas,
+                      std::uint64_t seed = 42, std::uint64_t stride = 7919) {
+  mw::BatchJob job;
+  job.config.technique = kind;
+  job.config.workers = workers;
+  job.config.tasks = tasks;
+  job.config.workload = workload::exponential(1.0);
+  job.config.params.mu = 1.0;
+  job.config.params.sigma = 1.0;
+  job.config.params.h = 0.5;
+  job.config.seed = seed;
+  job.replicas = replicas;
+  job.seed_stride = stride;
+  return job;
+}
+
+TEST(BatchRunner, MatchesSequentialRuns) {
+  const mw::BatchJob job = make_job(Kind::kFAC2, 4, 512, 8);
+  mw::BatchRunner::Options options;
+  options.keep_values = true;
+  const mw::BatchResult batched = mw::BatchRunner(options).run_one(job);
+
+  ASSERT_EQ(batched.makespan_values.size(), 8u);
+  for (std::size_t r = 0; r < 8; ++r) {
+    mw::Config cfg = job.config;
+    cfg.seed = job.config.seed + job.seed_stride * r;
+    const mw::RunResult result = mw::run_simulation(cfg);
+    const mw::Metrics metrics = mw::compute_metrics(result, cfg);
+    EXPECT_DOUBLE_EQ(batched.makespan_values[r], metrics.makespan) << "replica " << r;
+    EXPECT_DOUBLE_EQ(batched.wasted_values[r], metrics.avg_wasted_time) << "replica " << r;
+  }
+}
+
+TEST(BatchRunner, IndependentOfThreadCount) {
+  const mw::BatchJob jobs[] = {
+      make_job(Kind::kGSS, 4, 256, 5),
+      make_job(Kind::kSS, 2, 128, 3, /*seed=*/7),
+      make_job(Kind::kBOLD, 8, 512, 4, /*seed=*/11),
+  };
+  auto run_with = [&](unsigned threads) {
+    mw::BatchRunner::Options options;
+    options.threads = threads;
+    options.keep_values = true;
+    return mw::BatchRunner(options).run(jobs);
+  };
+  const auto a = run_with(1);
+  const auto b = run_with(4);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(a[j].makespan_values, b[j].makespan_values) << "job " << j;
+    EXPECT_EQ(a[j].wasted_values, b[j].wasted_values) << "job " << j;
+    EXPECT_DOUBLE_EQ(a[j].makespan.mean, b[j].makespan.mean) << "job " << j;
+  }
+}
+
+TEST(BatchRunner, AggregatesPerJob) {
+  const mw::BatchJob jobs[] = {
+      make_job(Kind::kSS, 2, 64, 10),
+      make_job(Kind::kSS, 2, 64, 10),  // identical job -> identical summary
+  };
+  const auto results = mw::BatchRunner().run(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].makespan.count, 10u);
+  EXPECT_DOUBLE_EQ(results[0].makespan.mean, results[1].makespan.mean);
+  EXPECT_DOUBLE_EQ(results[0].avg_wasted_time.stddev, results[1].avg_wasted_time.stddev);
+  // SS issues one chunk per task.
+  EXPECT_DOUBLE_EQ(results[0].chunks.mean, 64.0);
+  EXPECT_DOUBLE_EQ(results[0].chunks.stddev, 0.0);
+}
+
+TEST(BatchRunner, DropsValuesUnlessRequested) {
+  const mw::BatchResult r = mw::BatchRunner().run_one(make_job(Kind::kGSS, 2, 64, 3));
+  EXPECT_TRUE(r.makespan_values.empty());
+  EXPECT_TRUE(r.wasted_values.empty());
+  EXPECT_EQ(r.makespan.count, 3u);
+}
+
+TEST(BatchRunner, RejectsZeroReplicaJobs) {
+  // An all-zero Summary would render as a legitimate-looking makespan
+  // of 0; the single entry point rejects the job instead.
+  mw::BatchJob job = make_job(Kind::kSS, 2, 32, 0);
+  EXPECT_THROW((void)mw::BatchRunner().run_one(job), std::invalid_argument);
+}
+
+TEST(BatchRunner, PropagatesSimulationErrors) {
+  mw::BatchJob job = make_job(Kind::kSS, 2, 64, 4);
+  job.config.worker_failure_times = {1.0, 2.0};  // all workers fail -> throws
+  EXPECT_THROW((void)mw::BatchRunner().run_one(job), std::runtime_error);
+}
+
+TEST(BatchRunner, MixedPlatformShapesReuseContextsSafely) {
+  // Alternating worker counts force the per-thread contexts to rebuild
+  // engines mid-batch; results must still match isolated runs.
+  const mw::BatchJob jobs[] = {
+      make_job(Kind::kFAC2, 2, 128, 3),
+      make_job(Kind::kFAC2, 8, 128, 3),
+      make_job(Kind::kFAC2, 2, 128, 3),
+  };
+  mw::BatchRunner::Options options;
+  options.threads = 1;  // one thread -> one context sees every shape
+  options.keep_values = true;
+  const auto results = mw::BatchRunner(options).run(jobs);
+  EXPECT_EQ(results[0].makespan_values, results[2].makespan_values);
+  for (std::size_t r = 0; r < 3; ++r) {
+    mw::Config cfg = jobs[1].config;
+    cfg.seed = cfg.seed + jobs[1].seed_stride * r;
+    EXPECT_DOUBLE_EQ(results[1].makespan_values[r], mw::run_simulation(cfg).makespan);
+  }
+}
+
+}  // namespace

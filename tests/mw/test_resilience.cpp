@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <vector>
 
 #include "mw/metrics.hpp"
 #include "mw/simulation.hpp"
+#include "workload/random_source.hpp"
 #include "workload/task_times.hpp"
 
 namespace {
@@ -130,6 +132,86 @@ TEST(Resilience, ValidatesFailureVector) {
   EXPECT_THROW((void)mw::run_simulation(cfg), std::invalid_argument);
   cfg.worker_failure_times = {-1.0, kNever};
   EXPECT_THROW((void)mw::run_simulation(cfg), std::invalid_argument);
+}
+
+TEST(Resilience, ReclaimedRangesAreServedExactlyOnce) {
+  // CSS chunks of 25 tasks of 1 s; worker 0 dies at t = 10, mid-chunk,
+  // so its 25-task chunk returns to the pool and fragments it.  Every
+  // task must be served exactly once -- except the lost chunk's tasks,
+  // which are re-served exactly once more.
+  mw::Config cfg = base_config(Kind::kCSS, 4, 400);
+  cfg.params.css_chunk = 25;
+  cfg.worker_failure_times = {10.0, kNever, kNever, kNever};
+  cfg.record_chunk_log = true;
+  const mw::RunResult r = mw::run_simulation(cfg);
+  ASSERT_FALSE(r.chunk_log.empty());
+  ASSERT_FALSE(r.range_log.empty());
+  EXPECT_EQ(r.tasks_reclaimed, 25u);
+
+  // The lost chunk is the failed worker's last logged chunk (it never
+  // completed it and never received another).
+  std::size_t lost_chunk = r.chunk_log.size();
+  for (std::size_t i = 0; i < r.chunk_log.size(); ++i) {
+    if (r.chunk_log[i].pe == 0) lost_chunk = i;
+  }
+  ASSERT_LT(lost_chunk, r.chunk_log.size());
+  EXPECT_EQ(r.chunk_log[lost_chunk].size, r.tasks_reclaimed);
+
+  std::vector<int> served(400, 0);
+  std::vector<int> lost(400, 0);
+  std::vector<std::size_t> chunk_range_tasks(r.chunk_log.size(), 0);
+  for (const mw::ServedRangeEntry& e : r.range_log) {
+    ASSERT_LT(e.chunk, r.chunk_log.size());
+    ASSERT_LE(e.first + e.count, 400u);
+    chunk_range_tasks[e.chunk] += e.count;
+    for (std::size_t t = e.first; t < e.first + e.count; ++t) {
+      ++served[t];
+      if (e.chunk == lost_chunk) lost[t] = 1;
+    }
+  }
+  for (std::size_t t = 0; t < 400; ++t) {
+    EXPECT_EQ(served[t], 1 + lost[t]) << "task " << t;
+  }
+  // The ranges of each chunk cover exactly its size, and with the
+  // constant 1 s workload the prefix-sum nominal seconds are exactly
+  // the chunk size.
+  for (std::size_t c = 0; c < r.chunk_log.size(); ++c) {
+    EXPECT_EQ(chunk_range_tasks[c], r.chunk_log[c].size) << "chunk " << c;
+    EXPECT_EQ(r.chunk_log[c].work_seconds, static_cast<double>(r.chunk_log[c].size))
+        << "chunk " << c;
+  }
+}
+
+TEST(Resilience, ChunkSecondsMatchPrefixSumTotalsUnderFragmentation) {
+  // Stochastic workload + mid-run failure: rebuild the run's task times
+  // from the seed and verify that every chunk's nominal seconds equal
+  // the prefix-sum totals over its served ranges, bit for bit.
+  mw::Config cfg = base_config(Kind::kFAC2, 4, 512);
+  cfg.workload = workload::exponential(1.0);
+  cfg.params.sigma = 1.0;
+  cfg.seed = 4242;
+  cfg.worker_failure_times = {12.0, kNever, kNever, kNever};
+  cfg.record_chunk_log = true;
+  const mw::RunResult r = mw::run_simulation(cfg);
+  ASSERT_FALSE(r.range_log.empty());
+  EXPECT_GT(r.tasks_reclaimed, 0u);
+
+  workload::XoshiroSource rng(4242);
+  const std::vector<double> times = workload::exponential(1.0)->generate(512, rng);
+  std::vector<double> prefix(times.size() + 1, 0.0);
+  double running = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    running += times[i];
+    prefix[i + 1] = running;
+  }
+
+  std::vector<double> reconstructed(r.chunk_log.size(), 0.0);
+  for (const mw::ServedRangeEntry& e : r.range_log) {
+    reconstructed[e.chunk] += prefix[e.first + e.count] - prefix[e.first];
+  }
+  for (std::size_t c = 0; c < r.chunk_log.size(); ++c) {
+    EXPECT_EQ(reconstructed[c], r.chunk_log[c].work_seconds) << "chunk " << c;
+  }
 }
 
 TEST(Resilience, NoFailuresMatchesBaseline) {

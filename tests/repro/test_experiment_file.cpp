@@ -106,4 +106,38 @@ TEST(ExperimentFile, DeterministicAcrossRuns) {
   EXPECT_EQ(a.str(), b.str());
 }
 
+TEST(ExperimentFile, ParsesReplicasAndThreads) {
+  const repro::ExperimentSpec spec = repro::parse_experiment_spec(
+      "technique SS\ntasks 64\nworkers 2\nworkload constant:1.0\nreplicas 20\nthreads 2\n");
+  EXPECT_EQ(spec.replicas, 20u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_THROW((void)repro::parse_experiment_spec(
+                   "technique SS\ntasks 64\nworkers 2\nworkload constant:1.0\nreplicas 0\n"),
+               std::invalid_argument);
+  // Default stays a single run.
+  EXPECT_EQ(repro::parse_experiment_spec(kValid).replicas, 1u);
+}
+
+TEST(ExperimentFile, ReplicatedRunRendersSummaryStatistics) {
+  std::ostringstream out;
+  repro::run_experiment_file(
+      "technique FAC2\ntasks 256\nworkers 4\nworkload exponential:1.0\nh 0.5\nseed 5\n"
+      "replicas 8\nthreads 2\n",
+      out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("8 replicas"), std::string::npos);
+  EXPECT_NE(text.find("mean"), std::string::npos);
+  EXPECT_NE(text.find("stddev"), std::string::npos);
+  EXPECT_NE(text.find("makespan"), std::string::npos);
+
+  // Deterministic regardless of thread count (threads only appear in
+  // the input, not the rendered output).
+  std::ostringstream single;
+  repro::run_experiment_file(
+      "technique FAC2\ntasks 256\nworkers 4\nworkload exponential:1.0\nh 0.5\nseed 5\n"
+      "replicas 8\nthreads 1\n",
+      single);
+  EXPECT_EQ(single.str(), text);
+}
+
 }  // namespace

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "support/parallel_for.hpp"
@@ -53,6 +55,44 @@ TEST(ParallelFor, PropagatesFirstException) {
                             },
                             8),
       std::runtime_error);
+}
+
+TEST(ParallelFor, FailureCancelsWithinAGrain) {
+  // Regression: the failed flag used to be checked only when a thread
+  // claimed a new grain, so a failing sweep kept simulating up to
+  // grain-1 extra bodies per thread.  Two threads, one grain each: the
+  // first body of thread A waits until thread B's grain is underway and
+  // then throws; B must stop long before finishing its 64-body grain.
+  constexpr std::size_t kGrain = 64;
+  std::atomic<bool> second_grain_started{false};
+  std::atomic<int> bodies_after_failure{0};
+  std::atomic<bool> failure_thrown{false};
+
+  EXPECT_THROW(
+      support::parallel_for(
+          2 * kGrain,
+          [&](std::size_t i) {
+            if (i == 0) {
+              // Wait (bounded) for the other thread to enter its grain.
+              for (int spin = 0; spin < 2000 && !second_grain_started.load(); ++spin) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              }
+              failure_thrown.store(true);
+              throw std::runtime_error("boom");
+            }
+            if (i >= kGrain) {
+              second_grain_started.store(true);
+              if (failure_thrown.load()) bodies_after_failure.fetch_add(1);
+              // Give the failing thread ample time to set the flag.
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          },
+          /*threads=*/2, /*grain=*/kGrain),
+      std::runtime_error);
+
+  // Without the in-grain check the second thread runs all 64 bodies,
+  // ~63 of them after the failure.  With it, it stops within a few.
+  EXPECT_LE(bodies_after_failure.load(), 8);
 }
 
 TEST(ParallelFor, ManyMoreTasksThanThreads) {

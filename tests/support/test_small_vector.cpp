@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "support/small_vector.hpp"
+
+namespace {
+
+using support::SmallVector;
+
+TEST(SmallVector, StartsEmptyAndInline) {
+  SmallVector<int, 2> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 2u);
+}
+
+TEST(SmallVector, StaysInlineUpToN) {
+  SmallVector<int, 3> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, SpillsToHeapBeyondN) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, ClearKeepsCapacity) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);  // reuse, don't shrink: no realloc on refill
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(SmallVector, RangeForIteration) {
+  SmallVector<int, 4> v;
+  v.push_back(5);
+  v.push_back(7);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 12);
+}
+
+TEST(SmallVector, CopyPreservesElements) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  SmallVector<int, 2> copy(v);
+  ASSERT_EQ(copy.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(copy[static_cast<std::size_t>(i)], i);
+  copy.push_back(99);
+  EXPECT_EQ(v.size(), 5u);  // deep copy
+
+  SmallVector<int, 2> assigned;
+  assigned.push_back(-1);
+  assigned = v;
+  ASSERT_EQ(assigned.size(), 5u);
+  EXPECT_EQ(assigned[0], 0);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  SmallVector<int, 2> moved(std::move(v));
+  ASSERT_EQ(moved.size(), 50u);
+  EXPECT_EQ(moved[49], 49);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): specified state
+}
+
+TEST(SmallVector, MoveOfInlineContentsCopies) {
+  SmallVector<int, 4> v;
+  v.push_back(3);
+  v.push_back(4);
+  SmallVector<int, 4> moved(std::move(v));
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], 3);
+  EXPECT_EQ(moved[1], 4);
+  EXPECT_TRUE(moved.is_inline());
+}
+
+}  // namespace
