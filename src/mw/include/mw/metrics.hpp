@@ -28,6 +28,16 @@ struct Metrics {
   double makespan = 0.0;
   /// Number of scheduling operations (chunks).
   std::size_t chunks = 0;
+  /// Coefficient of variation of the per-worker computation times
+  /// (population stddev / mean), the load-imbalance measure of the
+  /// verification follow-up studies (arXiv:1804.11115): 0 = perfectly
+  /// even work, larger = more imbalance.  0 when no work was done.
+  double cov = 0.0;
+  /// Slowness p * makespan / total nominal work: the factor by which
+  /// the run is slower than perfect sharing of the nominal work over p
+  /// PEs (>= 1 up to rounding; the inverse of parallel efficiency, and
+  /// identically p / speedup).
+  double slowness = 0.0;
 };
 
 /// Derive the paper's metrics from a run result.

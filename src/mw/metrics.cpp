@@ -1,6 +1,7 @@
 #include "mw/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mw {
 
@@ -22,6 +23,22 @@ Metrics compute_metrics(const RunResult& result, const Config& config) {
 
   // --- speedup (TSS publication) ---
   if (result.makespan > 0.0) m.speedup = result.total_nominal_work / result.makespan;
+
+  // --- cov of worker compute times / slowness (verification studies) ---
+  double compute_sum = 0.0;
+  for (const WorkerStats& w : result.workers) compute_sum += w.compute_time;
+  if (compute_sum > 0.0) {
+    const double mean = compute_sum / p;
+    double sq = 0.0;
+    for (const WorkerStats& w : result.workers) {
+      const double d = w.compute_time - mean;
+      sq += d * d;
+    }
+    m.cov = std::sqrt(sq / p) / mean;
+  }
+  if (result.total_nominal_work > 0.0) {
+    m.slowness = p * result.makespan / result.total_nominal_work;
+  }
 
   // --- degrees of scheduling overhead and load imbalancing ---
   // Per-chunk cost a worker experiences: the request and reply

@@ -236,7 +236,16 @@ simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
       request = WorkRequest{st.id, 0, 0.0, true, reply.count};
       continue;
     }
-    const double finish = ctx.host().finish_time(t0, flops);
+    double finish = std::numeric_limits<double>::infinity();
+    try {
+      finish = ctx.host().finish_time(t0, flops);
+    } catch (const std::runtime_error&) {
+      // The host's remaining capacity is zero forever.  With a finite
+      // fail-stop time the chunk is simply lost at that instant (the
+      // failure lands inside the stopped window); without one the
+      // configuration really is unrunnable.
+      if (st.failure_time == std::numeric_limits<double>::infinity()) throw;
+    }
     if (finish > st.failure_time) {
       // Dies mid-chunk: burn until the failure instant (the partial
       // results are lost -- fail-stop), then announce.
@@ -320,6 +329,11 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
           for (const TaskRange& r : buf.last_served[request.worker]) pool.give_back(r);
           buf.tasks_per_worker[request.worker] -= request.failed_size;
           sh.tasks_reclaimed += request.failed_size;
+          // Workers parked after seeing remaining() == 0 must come back
+          // for the reclaimed tasks, or the step deadlocks when the
+          // failed worker held the only outstanding chunk.
+          for (const std::size_t worker : parked) to_serve.push(worker);
+          parked.clear();
         }
         if (alive == 0) {
           throw std::runtime_error("all workers failed with " +

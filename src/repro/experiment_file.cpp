@@ -1,5 +1,8 @@
 #include "repro/experiment_file.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -14,33 +17,76 @@
 namespace repro {
 namespace {
 
-[[noreturn]] void parse_error(std::size_t line_no, const std::string& message) {
-  throw std::invalid_argument("experiment line " + std::to_string(line_no) + ": " + message);
+/// Where a parse error happened: the 1-based line number and the raw
+/// line text, so the message names the offending line verbatim.
+struct LineRef {
+  std::size_t no = 0;
+  const std::string* text = nullptr;
+};
+
+[[noreturn]] void parse_error(LineRef line, const std::string& message) {
+  std::string where = "experiment line " + std::to_string(line.no);
+  if (line.text != nullptr) where += " ('" + *line.text + "')";
+  throw std::invalid_argument(where + ": " + message);
 }
 
-double to_double(const std::string& v, std::size_t line_no) {
+double to_double(const std::string& v, LineRef line) {
   try {
     std::size_t pos = 0;
     const double out = std::stod(v, &pos);
     if (pos != v.size()) throw std::invalid_argument("");
     return out;
   } catch (const std::exception&) {
-    parse_error(line_no, "bad number: " + v);
+    parse_error(line, "bad number: " + v);
   }
 }
 
-std::size_t to_size(const std::string& v, std::size_t line_no) {
-  const double d = to_double(v, line_no);
+std::size_t to_size(const std::string& v, LineRef line) {
+  const double d = to_double(v, line);
   if (d < 0.0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
-    parse_error(line_no, "expected a non-negative integer: " + v);
+    parse_error(line, "expected a non-negative integer: " + v);
   }
   return static_cast<std::size_t>(d);
 }
 
-bool to_bool(const std::string& v, std::size_t line_no) {
+bool to_bool(const std::string& v, LineRef line) {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
-  parse_error(line_no, "expected a boolean: " + v);
+  parse_error(line, "expected a boolean: " + v);
+}
+
+/// Comma-separated doubles; "inf" is accepted (fail-stop survivors).
+std::vector<double> to_double_list(const std::string& v, LineRef line) {
+  std::vector<double> out;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) parse_error(line, "empty list item in: " + v);
+    out.push_back(to_double(item, line));
+  }
+  if (out.empty()) parse_error(line, "expected a comma-separated list, got: " + v);
+  return out;
+}
+
+/// "t0:s0,t1:s1,..." -> SpeedProfile.
+simx::SpeedProfile to_profile(const std::string& v, LineRef line) {
+  simx::SpeedProfile profile;
+  std::stringstream ss(v);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) {
+      parse_error(line, "profile segment must be <time>:<flops>, got: " + item);
+    }
+    profile.time_points.push_back(to_double(item.substr(0, colon), line));
+    profile.speeds.push_back(to_double(item.substr(colon + 1), line));
+  }
+  try {
+    profile.validate();
+  } catch (const std::exception& e) {
+    parse_error(line, e.what());
+  }
+  return profile;
 }
 
 }  // namespace
@@ -51,69 +97,96 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
   cfg.workers = 0;  // force an explicit 'workers' key (Config defaults to 1)
   bool have_mu = false;
   bool have_sigma = false;
+  std::map<std::size_t, simx::SpeedProfile> profiles;  // worker index -> profile
+  std::map<std::size_t, std::size_t> profile_lines;    // worker index -> line number
 
   std::istringstream is{std::string(text)};
-  std::string line;
+  std::string raw;
   std::size_t line_no = 0;
-  while (std::getline(is, line)) {
+  while (std::getline(is, raw)) {
     ++line_no;
-    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
+    const LineRef line{line_no, &raw};
+    std::string stripped = raw;
+    if (const auto hash = stripped.find('#'); hash != std::string::npos) stripped.resize(hash);
+    std::istringstream ls(stripped);
     std::string key, value;
     if (!(ls >> key)) continue;
-    if (!(ls >> value)) parse_error(line_no, "key '" + key + "' is missing a value");
+    if (!(ls >> value)) parse_error(line, "key '" + key + "' is missing a value");
     std::string extra;
-    if (ls >> extra) parse_error(line_no, "unexpected trailing token: " + extra);
+    if (ls >> extra) parse_error(line, "unexpected trailing token: " + extra);
 
     if (key == "technique") {
       try {
         cfg.technique = dls::kind_from_string(value);
       } catch (const std::exception& e) {
-        parse_error(line_no, e.what());
+        parse_error(line, e.what());
       }
     } else if (key == "tasks") {
-      cfg.tasks = to_size(value, line_no);
+      cfg.tasks = to_size(value, line);
     } else if (key == "workers") {
-      cfg.workers = to_size(value, line_no);
+      cfg.workers = to_size(value, line);
     } else if (key == "workload") {
       try {
         cfg.workload = workload::from_spec(value);
       } catch (const std::exception& e) {
-        parse_error(line_no, e.what());
+        parse_error(line, e.what());
       }
     } else if (key == "h") {
-      cfg.params.h = to_double(value, line_no);
+      cfg.params.h = to_double(value, line);
     } else if (key == "mu") {
-      cfg.params.mu = to_double(value, line_no);
+      cfg.params.mu = to_double(value, line);
       have_mu = true;
     } else if (key == "sigma") {
-      cfg.params.sigma = to_double(value, line_no);
+      cfg.params.sigma = to_double(value, line);
       have_sigma = true;
     } else if (key == "timesteps") {
-      cfg.timesteps = to_size(value, line_no);
+      cfg.timesteps = to_size(value, line);
     } else if (key == "seed") {
-      cfg.seed = to_size(value, line_no);
+      cfg.seed = to_size(value, line);
     } else if (key == "overhead") {
       if (value == "analytic") cfg.overhead_mode = mw::OverheadMode::kAnalytic;
       else if (value == "simulated") cfg.overhead_mode = mw::OverheadMode::kSimulated;
-      else parse_error(line_no, "overhead must be 'analytic' or 'simulated'");
+      else parse_error(line, "overhead must be 'analytic' or 'simulated'");
     } else if (key == "latency") {
-      cfg.latency = to_double(value, line_no);
+      cfg.latency = to_double(value, line);
     } else if (key == "bandwidth") {
-      cfg.bandwidth = to_double(value, line_no);
+      cfg.bandwidth = to_double(value, line);
     } else if (key == "css_chunk") {
-      cfg.params.css_chunk = to_size(value, line_no);
+      cfg.params.css_chunk = to_size(value, line);
     } else if (key == "gss_min") {
-      cfg.params.gss_min_chunk = to_size(value, line_no);
+      cfg.params.gss_min_chunk = to_size(value, line);
     } else if (key == "rand48") {
-      cfg.use_rand48 = to_bool(value, line_no);
+      cfg.use_rand48 = to_bool(value, line);
+    } else if (key == "host_speed") {
+      cfg.host_speed = to_double(value, line);
+      if (!(cfg.host_speed > 0.0)) parse_error(line, "host_speed must be > 0");
+    } else if (key == "request_bytes") {
+      cfg.request_bytes = to_size(value, line);
+    } else if (key == "reply_bytes") {
+      cfg.reply_bytes = to_size(value, line);
+    } else if (key == "speeds") {
+      cfg.worker_speed_factors = to_double_list(value, line);
+    } else if (key == "weights") {
+      cfg.params.weights = to_double_list(value, line);
+    } else if (key == "failures") {
+      cfg.worker_failure_times = to_double_list(value, line);
+    } else if (key.starts_with("profile")) {
+      const std::string index_text = key.substr(7);
+      std::size_t index = 0;
+      const auto [ptr, ec] =
+          std::from_chars(index_text.data(), index_text.data() + index_text.size(), index);
+      if (ec != std::errc{} || ptr != index_text.data() + index_text.size()) {
+        parse_error(line, "profile key must be profile<worker-index>, got: " + key);
+      }
+      profiles[index] = to_profile(value, line);
+      profile_lines[index] = line_no;
     } else if (key == "replicas") {
-      spec.replicas = to_size(value, line_no);
-      if (spec.replicas == 0) parse_error(line_no, "replicas must be >= 1");
+      spec.replicas = to_size(value, line);
+      if (spec.replicas == 0) parse_error(line, "replicas must be >= 1");
     } else if (key == "threads") {
-      spec.threads = static_cast<unsigned>(to_size(value, line_no));
+      spec.threads = static_cast<unsigned>(to_size(value, line));
     } else {
-      parse_error(line_no, "unknown key: " + key);
+      parse_error(line, "unknown key: " + key);
     }
   }
 
@@ -122,11 +195,106 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
   if (cfg.workers == 0) throw std::invalid_argument("experiment: missing 'workers'");
   if (!have_mu) cfg.params.mu = cfg.workload->mean();
   if (!have_sigma) cfg.params.sigma = cfg.workload->stddev();
+  if (!cfg.worker_speed_factors.empty() && cfg.worker_speed_factors.size() != cfg.workers) {
+    throw std::invalid_argument("experiment: 'speeds' needs one entry per worker (got " +
+                                std::to_string(cfg.worker_speed_factors.size()) + ", workers " +
+                                std::to_string(cfg.workers) + ")");
+  }
+  if (!cfg.worker_failure_times.empty() && cfg.worker_failure_times.size() != cfg.workers) {
+    throw std::invalid_argument("experiment: 'failures' needs one entry per worker (got " +
+                                std::to_string(cfg.worker_failure_times.size()) + ", workers " +
+                                std::to_string(cfg.workers) + ")");
+  }
+  if (!cfg.params.weights.empty() && cfg.params.weights.size() != cfg.workers) {
+    throw std::invalid_argument("experiment: 'weights' needs one entry per worker (got " +
+                                std::to_string(cfg.params.weights.size()) + ", workers " +
+                                std::to_string(cfg.workers) + ")");
+  }
+  if (!profiles.empty()) {
+    if (profiles.rbegin()->first >= cfg.workers) {
+      parse_error(LineRef{profile_lines.at(profiles.rbegin()->first), nullptr},
+                  "profile index " + std::to_string(profiles.rbegin()->first) +
+                                    " out of range (workers " + std::to_string(cfg.workers) + ")");
+    }
+    cfg.worker_speed_profiles.resize(cfg.workers);
+    for (std::size_t i = 0; i < cfg.workers; ++i) {
+      if (auto it = profiles.find(i); it != profiles.end()) {
+        cfg.worker_speed_profiles[i] = std::move(it->second);
+      } else {
+        // Workers without a profile line keep their constant speed.
+        const double factor =
+            cfg.worker_speed_factors.empty() ? 1.0 : cfg.worker_speed_factors[i];
+        cfg.worker_speed_profiles[i] =
+            simx::SpeedProfile{{0.0}, {cfg.host_speed * factor}};
+      }
+    }
+  }
   return spec;
 }
 
 mw::Config parse_experiment(std::string_view text) {
   return parse_experiment_spec(text).config;
+}
+
+std::string serialize_experiment_spec(const ExperimentSpec& spec) {
+  const mw::Config& cfg = spec.config;
+  if (!cfg.workload) throw std::invalid_argument("serialize: spec has no workload");
+  const std::string workload_spec = cfg.workload->spec();
+  {
+    // A generator with no from_spec form (trace) would produce a file
+    // that cannot be parsed back; refuse instead of emitting it.
+    const auto roundtrip = workload::from_spec(workload_spec);  // throws if not expressible
+    (void)roundtrip;
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const char* key, const std::string& value) { out << key << ' ' << value << '\n'; };
+  emit("technique", dls::to_string(cfg.technique));
+  emit("tasks", std::to_string(cfg.tasks));
+  emit("workers", std::to_string(cfg.workers));
+  emit("workload", workload_spec);
+  if (cfg.params.h != 0.0) emit("h", support::fmt_shortest(cfg.params.h));
+  if (cfg.params.mu != cfg.workload->mean()) emit("mu", support::fmt_shortest(cfg.params.mu));
+  if (cfg.params.sigma != cfg.workload->stddev()) emit("sigma", support::fmt_shortest(cfg.params.sigma));
+  if (cfg.timesteps != 1) emit("timesteps", std::to_string(cfg.timesteps));
+  emit("seed", std::to_string(cfg.seed));
+  if (cfg.overhead_mode == mw::OverheadMode::kSimulated) emit("overhead", "simulated");
+  const mw::Config defaults;
+  if (cfg.latency != defaults.latency) emit("latency", support::fmt_shortest(cfg.latency));
+  if (cfg.bandwidth != defaults.bandwidth) emit("bandwidth", support::fmt_shortest(cfg.bandwidth));
+  if (cfg.params.css_chunk != 0) emit("css_chunk", std::to_string(cfg.params.css_chunk));
+  if (cfg.params.gss_min_chunk != 1) emit("gss_min", std::to_string(cfg.params.gss_min_chunk));
+  if (cfg.use_rand48) emit("rand48", "true");
+  if (cfg.host_speed != defaults.host_speed) emit("host_speed", support::fmt_shortest(cfg.host_speed));
+  if (cfg.request_bytes != defaults.request_bytes) {
+    emit("request_bytes", std::to_string(cfg.request_bytes));
+  }
+  if (cfg.reply_bytes != defaults.reply_bytes) {
+    emit("reply_bytes", std::to_string(cfg.reply_bytes));
+  }
+  auto emit_list = [&](const char* key, const std::vector<double>& values) {
+    std::string joined;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) joined += ',';
+      joined += support::fmt_shortest(values[i]);
+    }
+    emit(key, joined);
+  };
+  if (!cfg.worker_speed_factors.empty()) emit_list("speeds", cfg.worker_speed_factors);
+  if (!cfg.params.weights.empty()) emit_list("weights", cfg.params.weights);
+  if (!cfg.worker_failure_times.empty()) emit_list("failures", cfg.worker_failure_times);
+  for (std::size_t i = 0; i < cfg.worker_speed_profiles.size(); ++i) {
+    const simx::SpeedProfile& profile = cfg.worker_speed_profiles[i];
+    std::string joined;
+    for (std::size_t s = 0; s < profile.time_points.size(); ++s) {
+      if (s > 0) joined += ',';
+      joined += support::fmt_shortest(profile.time_points[s]) + ':' + support::fmt_shortest(profile.speeds[s]);
+    }
+    emit(("profile" + std::to_string(i)).c_str(), joined);
+  }
+  if (spec.replicas != 1) emit("replicas", std::to_string(spec.replicas));
+  if (spec.threads != 0) emit("threads", std::to_string(spec.threads));
+  return out.str();
 }
 
 namespace {
@@ -178,13 +346,16 @@ void print_replica_summary(const ExperimentSpec& spec, std::ostream& out) {
 
 }  // namespace
 
-void run_experiment_file(std::string_view text, std::ostream& out) {
-  const ExperimentSpec spec = parse_experiment_spec(text);
+void run_experiment(const ExperimentSpec& spec, std::ostream& out) {
   if (spec.replicas <= 1) {
     print_single_run(spec, out);
   } else {
     print_replica_summary(spec, out);
   }
+}
+
+void run_experiment_file(std::string_view text, std::ostream& out) {
+  run_experiment(parse_experiment_spec(text), out);
 }
 
 }  // namespace repro

@@ -32,6 +32,22 @@ namespace repro {
 ///   replicas  1               # > 1 batches independent seeds (mw::BatchRunner)
 ///   threads   0               # worker threads for replicas (0 = hardware)
 ///
+/// System-information extensions (the heterogeneity/resilience side of
+/// the Config space; all optional):
+///
+///   host_speed    1e9             # reference PE speed [flops/s]
+///   request_bytes 64
+///   reply_bytes   64
+///   speeds        1,0.5,2         # per-worker relative speed factors
+///   weights       1,1,2           # per-worker WF weights (dls::Params)
+///   failures      inf,3.5,inf     # per-worker fail-stop times [s]
+///   profile1      0:1e9,5:0,10:1e9  # piecewise speed of worker 1 (t:flops,...)
+///
+/// `speeds`/`failures` need one comma-separated entry per worker.  A
+/// `profile<i>` line gives worker i a piecewise-constant absolute speed
+/// (simx::SpeedProfile); workers without a profile line keep their
+/// constant speed host_speed * factor.
+///
 /// A parsed experiment: the simulation Config plus the execution
 /// dimensions that live outside a single run.
 struct ExperimentSpec {
@@ -42,16 +58,29 @@ struct ExperimentSpec {
 
 /// Parse the format described above.  Unknown keys are an error (a
 /// typo must not silently change an experiment).  Throws
-/// std::invalid_argument with a line number.
+/// std::invalid_argument naming the offending line (number and text).
 [[nodiscard]] ExperimentSpec parse_experiment_spec(std::string_view text);
 
 /// Backward-compatible view: the Config of parse_experiment_spec.
 [[nodiscard]] mw::Config parse_experiment(std::string_view text);
+
+/// Render `spec` in the textual format above, such that
+/// parse_experiment_spec(serialize_experiment_spec(spec)) describes the
+/// identical experiment (doubles use shortest round-trip formatting;
+/// keys at their defaults are omitted).  This is how check violations
+/// become replayable experiment files.  Throws std::invalid_argument
+/// for specs the format cannot express (no workload, or a workload
+/// with no from_spec form).
+[[nodiscard]] std::string serialize_experiment_spec(const ExperimentSpec& spec);
 
 /// Run the experiment described by `text` and render the measured
 /// values (paper Figure 2: "Measured Value(s)") to `out`.  With
 /// replicas > 1 the runs are batched through mw::BatchRunner and the
 /// summary statistics of the measured values are rendered instead.
 void run_experiment_file(std::string_view text, std::ostream& out);
+
+/// Same, for an already-parsed spec (lets callers report parse errors
+/// and run errors distinctly).
+void run_experiment(const ExperimentSpec& spec, std::ostream& out);
 
 }  // namespace repro

@@ -39,7 +39,9 @@ LoopStats DlsLoopExecutor::run(std::size_t n,
     params.n = n;
     technique_ = dls::make_technique(options_.technique, params);
     technique_n_ = n;
+    loop_count_ = 0;
   }
+  ++loop_count_;
 
   LoopStats stats;
   stats.tasks_per_thread.assign(threads_, 0);
@@ -71,6 +73,9 @@ LoopStats DlsLoopExecutor::run(std::size_t n,
         if (size == 0) return;
         begin = next_index;
         next_index += size;
+        if (options_.record_chunk_log) {
+          stats.chunk_log.push_back(LoopChunk{thread_id, begin, size});
+        }
       }
       const Clock::time_point chunk_start = Clock::now();
       try {

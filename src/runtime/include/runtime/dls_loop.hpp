@@ -10,6 +10,13 @@
 
 namespace runtime {
 
+/// One dispatched chunk of a native loop, in dispatch order.
+struct LoopChunk {
+  std::size_t thread = 0;
+  std::size_t first = 0;
+  std::size_t size = 0;
+};
+
 /// Per-loop execution statistics of the native executor.
 struct LoopStats {
   std::size_t chunks = 0;
@@ -17,6 +24,10 @@ struct LoopStats {
   std::vector<std::size_t> tasks_per_thread;
   std::vector<std::size_t> chunks_per_thread;
   std::vector<double> busy_seconds_per_thread;
+  /// Filled if Options::record_chunk_log: every dispatched chunk, in
+  /// dispatch order (the native analog of mw's chunk log; the shared
+  /// check::BackendRun adapter verifies coverage invariants on it).
+  std::vector<LoopChunk> chunk_log;
 };
 
 /// Native (non-simulated) self-scheduling loop executor: the deployment
@@ -41,6 +52,8 @@ class DlsLoopExecutor {
     dls::Params params;
     /// 0 = hardware concurrency.
     unsigned threads = 0;
+    /// Record every dispatched chunk in LoopStats::chunk_log.
+    bool record_chunk_log = false;
   };
 
   explicit DlsLoopExecutor(Options options);
@@ -59,12 +72,17 @@ class DlsLoopExecutor {
 
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] dls::Kind technique() const { return options_.technique; }
+  /// Number of run() calls served by the current technique instance:
+  /// increments while adaptive state persists (same n), resets to 1
+  /// when a changed n rebuilds the technique.  0 before the first run.
+  [[nodiscard]] std::size_t loop_count() const { return loop_count_; }
 
  private:
   Options options_;
   unsigned threads_;
   std::unique_ptr<dls::Technique> technique_;
   std::size_t technique_n_ = 0;
+  std::size_t loop_count_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -40,4 +40,10 @@ class Table {
 /// line up and CSV output round-trips.
 [[nodiscard]] std::string fmt(double value, int precision = 3);
 
+/// Shortest decimal form that round-trips to the identical double
+/// (std::to_chars); infinities render as "inf"/"-inf", which std::stod
+/// parses back.  Serializers whose text must reproduce bit-exact
+/// values (workload specs, experiment files) share this one helper.
+[[nodiscard]] std::string fmt_shortest(double value);
+
 }  // namespace support

@@ -1,6 +1,8 @@
 #include "support/table.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -74,6 +76,13 @@ std::string fmt(double value, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << value;
   return os.str();
+}
+
+std::string fmt_shortest(double value) {
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, ptr);
 }
 
 }  // namespace support

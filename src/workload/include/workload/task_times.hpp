@@ -35,6 +35,12 @@ class TaskTimeGenerator {
   [[nodiscard]] virtual double stddev() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Canonical `from_spec` text that reconstructs this generator, e.g.
+  /// "exponential:1".  Numbers use shortest round-trip formatting, so
+  /// from_spec(spec()) samples identically.  Generators with no spec
+  /// form (trace) fall back to name(), which from_spec rejects.
+  [[nodiscard]] virtual std::string spec() const { return name(); }
+
   /// Materialize all n task times (the per-run workload vector).
   [[nodiscard]] std::vector<double> generate(std::size_t n, RandomSource& rng) const;
 

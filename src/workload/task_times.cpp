@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/table.hpp"
+
 namespace workload {
 
 std::vector<double> TaskTimeGenerator::generate(std::size_t n, RandomSource& rng) const {
@@ -41,6 +43,7 @@ class Constant final : public TaskTimeGenerator {
   double mean() const override { return value_; }
   double stddev() const override { return 0.0; }
   std::string name() const override { return "constant(" + std::to_string(value_) + ")"; }
+  std::string spec() const override { return "constant:" + support::fmt_shortest(value_); }
 
  private:
   double value_;
@@ -58,6 +61,9 @@ class Uniform final : public TaskTimeGenerator {
   double stddev() const override { return (hi_ - lo_) / std::sqrt(12.0); }
   std::string name() const override {
     return "uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+  }
+  std::string spec() const override {
+    return "uniform:" + support::fmt_shortest(lo_) + "," + support::fmt_shortest(hi_);
   }
 
  private:
@@ -80,6 +86,7 @@ class Exponential final : public TaskTimeGenerator {
   double mean() const override { return mu_; }
   double stddev() const override { return mu_; }
   std::string name() const override { return "exponential(" + std::to_string(mu_) + ")"; }
+  std::string spec() const override { return "exponential:" + support::fmt_shortest(mu_); }
 
  private:
   double mu_;
@@ -111,6 +118,9 @@ class Normal final : public TaskTimeGenerator {
   std::string name() const override {
     return "normal(" + std::to_string(mu_) + "," + std::to_string(sigma_) + ")";
   }
+  std::string spec() const override {
+    return "normal:" + support::fmt_shortest(mu_) + "," + support::fmt_shortest(sigma_);
+  }
 
  private:
   double mu_, sigma_, floor_;
@@ -129,6 +139,9 @@ class Gamma final : public TaskTimeGenerator {
   double stddev() const override { return std::sqrt(shape_) * scale_; }
   std::string name() const override {
     return "gamma(" + std::to_string(shape_) + "," + std::to_string(scale_) + ")";
+  }
+  std::string spec() const override {
+    return "gamma:" + support::fmt_shortest(shape_) + "," + support::fmt_shortest(scale_);
   }
 
  private:
@@ -172,6 +185,9 @@ class Lognormal final : public TaskTimeGenerator {
   std::string name() const override {
     return "lognormal(" + std::to_string(mean_) + "," + std::to_string(stddev_) + ")";
   }
+  std::string spec() const override {
+    return "lognormal:" + support::fmt_shortest(mean_) + "," + support::fmt_shortest(stddev_);
+  }
 
  private:
   double mean_, stddev_, mu_log_{}, sigma_log_{};
@@ -194,6 +210,9 @@ class Weibull final : public TaskTimeGenerator {
   double stddev() const override { return stddev_; }
   std::string name() const override {
     return "weibull(" + std::to_string(shape_) + "," + std::to_string(scale_) + ")";
+  }
+  std::string spec() const override {
+    return "weibull:" + support::fmt_shortest(shape_) + "," + support::fmt_shortest(scale_);
   }
 
  private:
@@ -220,6 +239,9 @@ class Bimodal final : public TaskTimeGenerator {
     return "bimodal(" + std::to_string(lo_) + "," + std::to_string(hi_) + "," +
            std::to_string(w_) + ")";
   }
+  std::string spec() const override {
+    return "bimodal:" + support::fmt_shortest(lo_) + "," + support::fmt_shortest(hi_) + "," + support::fmt_shortest(w_);
+  }
 
  private:
   double lo_, hi_, w_;
@@ -244,6 +266,9 @@ class LinearRamp final : public TaskTimeGenerator {
   }
   std::string name() const override {
     return "ramp(" + std::to_string(first_) + "->" + std::to_string(last_) + ")";
+  }
+  std::string spec() const override {
+    return "ramp:" + support::fmt_shortest(first_) + "," + support::fmt_shortest(last_);
   }
 
  private:

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
+#include "mw/simulation.hpp"
 #include "repro/experiment_file.hpp"
+#include "workload/task_times.hpp"
 
 namespace {
 
@@ -116,6 +119,130 @@ TEST(ExperimentFile, ParsesReplicasAndThreads) {
                std::invalid_argument);
   // Default stays a single run.
   EXPECT_EQ(repro::parse_experiment_spec(kValid).replicas, 1u);
+}
+
+TEST(ExperimentFile, ParsesSystemInformationExtensions) {
+  const char* text = R"(
+technique WF
+tasks     200
+workers   3
+workload  constant:1
+host_speed 2e9
+request_bytes 128
+reply_bytes   32
+speeds    1,0.5,2
+weights   1,1,2
+failures  inf,3.5,inf
+profile1  0:2e9,5:0,10:1e9
+)";
+  const mw::Config cfg = repro::parse_experiment(text);
+  EXPECT_DOUBLE_EQ(cfg.host_speed, 2e9);
+  EXPECT_EQ(cfg.request_bytes, 128u);
+  EXPECT_EQ(cfg.reply_bytes, 32u);
+  ASSERT_EQ(cfg.worker_speed_factors.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.worker_speed_factors[1], 0.5);
+  ASSERT_EQ(cfg.params.weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.params.weights[2], 2.0);
+  ASSERT_EQ(cfg.worker_failure_times.size(), 3u);
+  EXPECT_TRUE(std::isinf(cfg.worker_failure_times[0]));
+  EXPECT_DOUBLE_EQ(cfg.worker_failure_times[1], 3.5);
+  // All three workers get a profile; the unnamed ones keep their
+  // constant speed host_speed * factor.
+  ASSERT_EQ(cfg.worker_speed_profiles.size(), 3u);
+  EXPECT_EQ(cfg.worker_speed_profiles[1].time_points.size(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.worker_speed_profiles[1].speeds[1], 0.0);
+  EXPECT_DOUBLE_EQ(cfg.worker_speed_profiles[0].speeds[0], 2e9 * 1.0);
+  EXPECT_DOUBLE_EQ(cfg.worker_speed_profiles[2].speeds[0], 2e9 * 2.0);
+}
+
+TEST(ExperimentFile, ExtensionsValidatePerWorkerSizes) {
+  const char* base = "technique SS\ntasks 10\nworkers 3\nworkload constant:1\n";
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "speeds 1,2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "failures 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "weights 1,2,3,4\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "profile7 0:1e9\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "profile0 5:1e9\n"),
+               std::invalid_argument);  // profile must start at t = 0
+  EXPECT_THROW((void)repro::parse_experiment(std::string(base) + "profileX 0:1e9\n"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentFile, ParseErrorsNameTheOffendingLine) {
+  auto message_of = [](const char* text) {
+    try {
+      (void)repro::parse_experiment(text);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  // The message carries the line number AND the raw line text.
+  const std::string unknown = message_of("technique SS\nworklod exponential:1\n");
+  EXPECT_NE(unknown.find("line 2"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("worklod exponential:1"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.find("unknown key"), std::string::npos) << unknown;
+
+  const std::string bad_value = message_of("tasks banana\n");
+  EXPECT_NE(bad_value.find("line 1"), std::string::npos) << bad_value;
+  EXPECT_NE(bad_value.find("tasks banana"), std::string::npos) << bad_value;
+
+  const std::string trailing = message_of("technique SS extra\n");
+  EXPECT_NE(trailing.find("technique SS extra"), std::string::npos) << trailing;
+}
+
+TEST(ExperimentFile, SerializeParseRoundTripIsIdentity) {
+  // parse -> serialize -> parse must be the identity on the spec:
+  // serialize of both parses renders byte-identical text.
+  const char* cases[] = {
+      "technique FAC2\ntasks 1024\nworkers 8\nworkload exponential:1\nh 0.5\nseed 7\n",
+      "technique STAT\ntasks 64\nworkers 2\nworkload constant:0.002\n",
+      "technique GSS\ntasks 500\nworkers 4\nworkload constant:0.001\nh 0.0001\ntimesteps 2\n"
+      "seed 3\noverhead simulated\nlatency 1e-5\nbandwidth 1e8\ngss_min 5\nrand48 true\n",
+      "technique WF\ntasks 200\nworkers 3\nworkload uniform:0.5,1.5\nhost_speed 2e9\n"
+      "speeds 1,0.5,2\nweights 1,1,2\nfailures inf,3.5,inf\nprofile1 0:2e9,5:0,10:1e9\n"
+      "request_bytes 128\nreply_bytes 32\n",
+      "technique BOLD\ntasks 4096\nworkers 16\nworkload exponential:1\nh 0.5\nrand48 true\n"
+      "replicas 12\nthreads 2\n",
+      "technique CSS\ntasks 77\nworkers 3\nworkload ramp:2,0.1\ncss_chunk 9\nmu 1.5\nsigma 0.25\n",
+      "technique SS\ntasks 10\nworkers 2\nworkload constant:1\nlatency 0\nbandwidth inf\n",
+  };
+  for (const char* text : cases) {
+    const repro::ExperimentSpec once = repro::parse_experiment_spec(text);
+    const std::string serialized = repro::serialize_experiment_spec(once);
+    repro::ExperimentSpec twice;
+    ASSERT_NO_THROW(twice = repro::parse_experiment_spec(serialized)) << serialized;
+    EXPECT_EQ(repro::serialize_experiment_spec(twice), serialized) << text;
+
+    // The round-tripped spec runs to the identical result.
+    const mw::RunResult a = mw::run_simulation(once.config);
+    const mw::RunResult b = mw::run_simulation(twice.config);
+    EXPECT_EQ(a.makespan, b.makespan) << text;
+    EXPECT_EQ(a.chunk_count, b.chunk_count) << text;
+  }
+}
+
+TEST(ExperimentFile, SerializeOmitsDefaults) {
+  const repro::ExperimentSpec spec = repro::parse_experiment_spec(
+      "technique SS\ntasks 10\nworkers 2\nworkload constant:1\n");
+  const std::string text = repro::serialize_experiment_spec(spec);
+  EXPECT_EQ(text.find("latency"), std::string::npos);
+  EXPECT_EQ(text.find("timesteps"), std::string::npos);
+  EXPECT_EQ(text.find("overhead"), std::string::npos);
+  EXPECT_EQ(text.find("h "), std::string::npos);
+  EXPECT_NE(text.find("technique SS"), std::string::npos);
+  EXPECT_NE(text.find("seed 42"), std::string::npos);
+}
+
+TEST(ExperimentFile, SerializeRejectsInexpressibleSpecs) {
+  repro::ExperimentSpec spec;
+  EXPECT_THROW((void)repro::serialize_experiment_spec(spec), std::invalid_argument);
+  spec = repro::parse_experiment_spec("technique SS\ntasks 10\nworkers 2\nworkload constant:1\n");
+  spec.config.workload = workload::trace({1.0, 2.0});
+  EXPECT_THROW((void)repro::serialize_experiment_spec(spec), std::invalid_argument);
 }
 
 TEST(ExperimentFile, ReplicatedRunRendersSummaryStatistics) {

@@ -162,6 +162,114 @@ TEST(DlsLoop, DynamicTechniquesBalanceSkewedWork) {
   EXPECT_GT(imbalance(stat), imbalance(ss));
 }
 
+TEST(DlsLoop, ExceptionMidChunkAbortsCleanlyAndRethrowsOnce) {
+  // The first body exception must abort remaining dispatches, surface
+  // exactly once, and leave the executor reusable.
+  DlsLoopExecutor::Options options;
+  options.technique = dls::Kind::kSS;
+  options.threads = 4;
+  DlsLoopExecutor executor(options);
+  std::atomic<std::size_t> executed{0};
+  std::size_t caught = 0;
+  try {
+    (void)executor.run(50000, [&](std::size_t begin, std::size_t) {
+      if (begin == 17) throw std::runtime_error("chunk 17 exploded");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error& e) {
+    ++caught;
+    EXPECT_STREQ(e.what(), "chunk 17 exploded");
+  } catch (...) {
+    FAIL() << "wrong exception type propagated";
+  }
+  EXPECT_EQ(caught, 1u);
+  EXPECT_LT(executed.load(), 50000u);
+
+  // Concurrent failures in several threads still rethrow exactly one.
+  caught = 0;
+  try {
+    (void)executor.run(50000, [](std::size_t, std::size_t) {
+      throw std::runtime_error("every chunk fails");
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1u);
+
+  // The executor recovered: a clean follow-up loop runs to completion.
+  std::atomic<std::size_t> count{0};
+  const LoopStats stats = executor.run_indexed(1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000u);
+  std::size_t total = 0;
+  for (std::size_t t : stats.tasks_per_thread) total += t;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(DlsLoop, AdaptiveStatePersistsAcrossRunsAndResetsWhenNChanges) {
+  // loop_count() counts run() calls served by the current technique
+  // instance: it must grow while adaptive (AWF/AF) state persists and
+  // reset when a changed n rebuilds the technique.
+  for (dls::Kind kind : {dls::Kind::kAWF, dls::Kind::kAWFB, dls::Kind::kAF}) {
+    DlsLoopExecutor::Options options;
+    options.technique = kind;
+    options.threads = 4;
+    DlsLoopExecutor executor(options);
+    EXPECT_EQ(executor.loop_count(), 0u) << dls::to_string(kind);
+    (void)executor.run_indexed(1024, [](std::size_t) {});
+    EXPECT_EQ(executor.loop_count(), 1u) << dls::to_string(kind);
+    (void)executor.run_indexed(1024, [](std::size_t) {});
+    (void)executor.run_indexed(1024, [](std::size_t) {});
+    EXPECT_EQ(executor.loop_count(), 3u) << dls::to_string(kind);  // state persisted
+    (void)executor.run_indexed(2048, [](std::size_t) {});
+    EXPECT_EQ(executor.loop_count(), 1u) << dls::to_string(kind);  // n changed: rebuilt
+    (void)executor.run_indexed(2048, [](std::size_t) {});
+    EXPECT_EQ(executor.loop_count(), 2u) << dls::to_string(kind);
+  }
+}
+
+TEST(DlsLoop, FailedRunStillAdvancesTimestepState) {
+  // A run that throws after dispatching chunks has still consumed a
+  // timestep on the persistent technique; the next same-n run must not
+  // see stale inconsistent counts (it reschedules all n afresh).
+  DlsLoopExecutor::Options options;
+  options.technique = dls::Kind::kAWFB;
+  options.threads = 2;
+  DlsLoopExecutor executor(options);
+  EXPECT_THROW((void)executor.run(4096,
+                                  [](std::size_t begin, std::size_t) {
+                                    if (begin > 100) throw std::runtime_error("boom");
+                                  }),
+               std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  (void)executor.run_indexed(4096, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4096u);
+}
+
+TEST(DlsLoop, ChunkLogRecordsEveryDispatchExactlyOnce) {
+  DlsLoopExecutor::Options options;
+  options.technique = dls::Kind::kFAC2;
+  options.threads = 4;
+  options.record_chunk_log = true;
+  DlsLoopExecutor executor(options);
+  const std::size_t n = 5000;
+  const LoopStats stats = executor.run_indexed(n, [](std::size_t) {});
+  ASSERT_EQ(stats.chunk_log.size(), stats.chunks);
+  std::vector<int> visits(n, 0);
+  for (const runtime::LoopChunk& chunk : stats.chunk_log) {
+    ASSERT_GE(chunk.size, 1u);
+    ASSERT_LE(chunk.first + chunk.size, n);
+    ASSERT_LT(chunk.thread, 4u);
+    for (std::size_t i = chunk.first; i < chunk.first + chunk.size; ++i) ++visits[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(DlsLoop, ChunkLogIsOffByDefault) {
+  const LoopStats stats =
+      runtime::parallel_for_dls(dls::Kind::kGSS, 1000, [](std::size_t) {}, 2);
+  EXPECT_TRUE(stats.chunk_log.empty());
+}
+
 TEST(DlsLoop, AdaptiveFeedbackFlowsThroughNativeTimers) {
   // AF needs per-chunk timing feedback; run a loop with measurable work
   // and verify AF terminates with exact coverage (the estimator path is

@@ -5,6 +5,9 @@
 //   $ dls_chunks --technique GSS --tasks 100 --pes 4
 //   GSS, n = 100, p = 4: 14 chunks
 //   25 19 14 11 8 6 5 3 3 2 1 1 1 1
+//
+// Exit codes: 0 = success, 1 = the technique rejected the parameters,
+// 2 = bad command line.
 
 #include <cstdlib>
 #include <iostream>
@@ -24,9 +27,21 @@ int main(int argc, char** argv) {
   flags.define("css-chunk", "0", "CSS chunk size (0 = n/p)");
   flags.define("gss-min", "1", "GSS minimum chunk size");
   flags.define("per-pe", "false", "annotate each chunk with the requesting PE");
+  flags.define("help", "false", "print this help");
+
+  dls::Params params;
+  std::string technique_name;
+  bool per_pe = false;
   try {
     flags.parse(argc, argv);
-    dls::Params params;
+    if (flags.get_bool("help")) {
+      std::cout << flags.usage();
+      return EXIT_SUCCESS;
+    }
+    if (!flags.positional().empty()) {
+      throw std::invalid_argument("unexpected positional argument: " +
+                                  flags.positional().front());
+    }
     params.n = static_cast<std::size_t>(flags.get_int("tasks"));
     params.p = static_cast<std::size_t>(flags.get_int("pes"));
     params.h = flags.get_double("h");
@@ -34,12 +49,20 @@ int main(int argc, char** argv) {
     params.sigma = flags.get_double("sigma");
     params.css_chunk = static_cast<std::size_t>(flags.get_int("css-chunk"));
     params.gss_min_chunk = static_cast<std::size_t>(flags.get_int("gss-min"));
-    const auto technique = dls::make_technique(flags.get("technique"), params);
+    technique_name = flags.get("technique");
+    (void)dls::kind_from_string(technique_name);  // typo'd names are usage errors
+    per_pe = flags.get_bool("per-pe");
+  } catch (const std::exception& e) {
+    std::cerr << "dls_chunks: " << e.what() << "\n" << flags.usage();
+    return 2;
+  }
+
+  try {
+    const auto technique = dls::make_technique(technique_name, params);
     const auto records = dls::chunk_sequence(*technique);
 
     std::cout << technique->name() << ", n = " << params.n << ", p = " << params.p << ": "
               << records.size() << " chunks\n";
-    const bool per_pe = flags.get_bool("per-pe");
     for (std::size_t i = 0; i < records.size(); ++i) {
       if (i > 0) std::cout << ' ';
       if (per_pe) std::cout << 'w' << records[i].pe << ':';

@@ -16,17 +16,41 @@
 //   tasks 1000
 //   workers 4
 //   workload constant:0.002" | dls_sim -
+//
+// Exit codes: 0 = success, 1 = the simulation failed, 2 = the
+// experiment file (or command line) could not be parsed.  Parse errors
+// name the offending line by number and text.
 
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "repro/experiment_file.hpp"
 
+namespace {
+
+constexpr int kExitRunError = 1;
+constexpr int kExitParseError = 2;
+
+void print_usage(std::ostream& out) {
+  out << "usage: dls_sim <experiment-file | ->\n"
+         "\n"
+         "Runs the experiment described by the file (or stdin with '-')\n"
+         "and prints the measured values.  See repro/experiment_file.hpp\n"
+         "for the 'key value' format; 'replicas N' batches N seeds.\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc == 2 && (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0)) {
+    print_usage(std::cout);
+    return EXIT_SUCCESS;
+  }
   if (argc != 2) {
-    std::cerr << "usage: dls_sim <experiment-file | ->\n";
-    return EXIT_FAILURE;
+    print_usage(std::cerr);
+    return kExitParseError;
   }
   std::string text;
   const std::string path = argv[1];
@@ -38,17 +62,25 @@ int main(int argc, char** argv) {
     std::ifstream in(path);
     if (!in) {
       std::cerr << "dls_sim: cannot open " << path << "\n";
-      return EXIT_FAILURE;
+      return kExitParseError;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     text = buffer.str();
   }
+
+  repro::ExperimentSpec spec;
   try {
-    repro::run_experiment_file(text, std::cout);
+    spec = repro::parse_experiment_spec(text);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sim: " << path << ": " << e.what() << "\n";
+    return kExitParseError;
+  }
+  try {
+    repro::run_experiment(spec, std::cout);
   } catch (const std::exception& e) {
     std::cerr << "dls_sim: " << e.what() << "\n";
-    return EXIT_FAILURE;
+    return kExitRunError;
   }
   return EXIT_SUCCESS;
 }
