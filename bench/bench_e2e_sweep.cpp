@@ -1,52 +1,65 @@
-// End-to-end sweep benchmark: mw::BatchRunner over a Table-2-style
-// grid (technique x workers x tasks), exponential task times -- the
-// shape of the BOLD reproduction's factorial designs, scaled to the
-// task counts where the serve path dominates.
+// End-to-end sweep benchmark: mw::BatchRunner over the Table-2-style
+// grid (technique x workers x tasks) declared in
+// bench/specs/e2e_sweep.sweep -- the same sweep spec dls_sweep runs,
+// so the timed grid and the grid service cannot drift apart.
 //
 // BM_E2ESweep pins the runner to one thread so it measures the serve
 // path itself (this is the number tracked in BENCH_e2e_sweep.json);
 // BM_E2ESweepParallel uses the default thread pool and shows the
 // batch-scaling headroom.
 //
-// Record a baseline with:
+// Record a baseline with either pipeline:
 //   bench_e2e_sweep --benchmark_format=json > raw.json
 //   bench_to_json raw.json BENCH_e2e_sweep.json
+// or, in one command, without google-benchmark:
+//   dls_sweep bench bench/specs/e2e_sweep.sweep \
+//       --name BM_E2ESweep --group tasks --json BENCH_e2e_sweep.json
 
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
-#include "mw/batch.hpp"
-#include "workload/task_times.hpp"
+#include "sweep/grid.hpp"
+
+#ifndef DLS_SWEEP_SPEC_DIR
+#define DLS_SWEEP_SPEC_DIR "bench/specs"
+#endif
 
 namespace {
 
-constexpr std::size_t kReplicasPerCell = 3;
+const sweep::Grid& e2e_grid() {
+  static const sweep::Grid grid = [] {
+    const char* env = std::getenv("DLS_SWEEP_SPEC");
+    const std::string path =
+        env != nullptr ? env : std::string(DLS_SWEEP_SPEC_DIR) + "/e2e_sweep.sweep";
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("bench_e2e_sweep: cannot open sweep spec " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return sweep::parse_grid(buffer.str());
+  }();
+  return grid;
+}
 
+/// The jobs of the spec's cells with the given task count (one
+/// google-benchmark Arg per `tasks` axis value).
 std::vector<mw::BatchJob> sweep_jobs(std::size_t tasks) {
-  // The Table-II techniques with distinct serve-path profiles: SS
-  // (one chunk per task, message-bound), GSS/TSS (decreasing chunks),
-  // FAC2 (batched factoring), BOLD (adaptive feedback).
-  const dls::Kind kinds[] = {dls::Kind::kSS, dls::Kind::kGSS, dls::Kind::kTSS,
-                             dls::Kind::kFAC2, dls::Kind::kBOLD};
-  const std::size_t workers[] = {64, 256};
+  const sweep::Grid& grid = e2e_grid();
   std::vector<mw::BatchJob> jobs;
-  for (const dls::Kind kind : kinds) {
-    for (const std::size_t p : workers) {
-      mw::BatchJob job;
-      job.config.technique = kind;
-      job.config.workers = p;
-      job.config.tasks = tasks;
-      job.config.workload = workload::exponential(1.0);
-      job.config.params.mu = 1.0;
-      job.config.params.sigma = 1.0;
-      job.config.params.h = 0.5;
-      job.config.seed = 1000003;
-      job.replicas = kReplicasPerCell;
-      job.seed_stride = 104729;
-      jobs.push_back(std::move(job));
-    }
+  for (std::size_t i = 0; i < grid.cells(); ++i) {
+    const sweep::Cell c = sweep::cell(grid, i);
+    if (c.spec.config.tasks != tasks) continue;
+    jobs.push_back(sweep::batch_job(grid, c));
+  }
+  if (jobs.empty()) {
+    throw std::runtime_error("bench_e2e_sweep: no cells with tasks = " + std::to_string(tasks) +
+                             " in the sweep spec");
   }
   return jobs;
 }

@@ -12,6 +12,9 @@ int main(int argc, char** argv) {
   support::Flags flags;
   flags.define("csv", "false", "emit CSV instead of aligned tables");
   flags.define("pes", "2,8,16,24,32,40,48,56,64,72,80", "PE counts to sweep");
+  flags.define("sweep-spec", "false",
+               "print one series' simulation side as a dls_sweep spec and exit");
+  flags.define("series", "", "series label for --sweep-spec (default: the first, SS)");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -23,6 +26,22 @@ int main(int argc, char** argv) {
   options.pes.clear();
   for (std::int64_t p : flags.get_int_list("pes")) {
     options.pes.push_back(static_cast<std::size_t>(p));
+  }
+
+  if (flags.get_bool("sweep-spec")) {
+    // One grid per series: a series couples technique and css/gss
+    // knobs, which the cartesian sweep format cannot vary jointly.
+    const std::string label = flags.get("series");
+    for (const repro::TssSeries& s : options.series) {
+      if (label.empty() || s.label == label) {
+        std::cout << repro::tss_sim_spec_text(options, s);
+        return EXIT_SUCCESS;
+      }
+    }
+    std::cerr << "unknown --series '" << label << "'; available:";
+    for (const repro::TssSeries& s : options.series) std::cerr << " " << s.label;
+    std::cerr << "\n";
+    return EXIT_FAILURE;
   }
 
   std::cout << "=== Figure 4: TSS publication experiment 2 ===\n"

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   flags.define("threads", "0", "worker threads (0 = hardware concurrency)");
   flags.define("cutoff", "400", "outlier cutoff in seconds (paper: 400)");
   flags.define("series", "false", "also print the full per-run series");
+  flags.define("sweep-spec", "false",
+               "print the FAC/p=2 cell as a dls_sweep spec and exit");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -32,6 +34,15 @@ int main(int argc, char** argv) {
   options.runs = static_cast<std::size_t>(flags.get_int("runs"));
   options.threads = static_cast<unsigned>(flags.get_int("threads"));
   const double cutoff = flags.get_double("cutoff");
+
+  if (flags.get_bool("sweep-spec")) {
+    // The Figure 9 cell as a one-cell grid; the sweep record's
+    // p5/p95/median and CI summarize the heavy tail this bench plots.
+    options.techniques = {dls::Kind::kFAC};
+    options.pes = {2};
+    std::cout << repro::bold_sim_spec_text(options);
+    return EXIT_SUCCESS;
+  }
 
   std::cout << "=== Figure 9: per-run average wasted time, FAC, p = 2, n = 524288 ===\n"
             << "protocol: " << options.runs << " runs, exponential mu = 1 s, h = 0.5 s\n\n";

@@ -18,6 +18,8 @@ int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
   flags.define("threads", "0", "worker threads (0 = hardware concurrency)");
   flags.define("csv", "false", "emit CSV instead of aligned tables");
   flags.define("pes", "2,8,64,256,1024", "PE counts to sweep");
+  flags.define("sweep-spec", "false",
+               "print the simulation-side grid as a dls_sweep spec and exit");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -35,6 +37,13 @@ int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
     options.pes.push_back(static_cast<std::size_t>(p));
   }
   const bool csv = flags.get_bool("csv");
+
+  if (flags.get_bool("sweep-spec")) {
+    // The bespoke grid loop as a declarative spec: pipe into
+    // `dls_sweep -` to run the simulation side sharded/resumable.
+    std::cout << repro::bold_sim_spec_text(options);
+    return EXIT_SUCCESS;
+  }
 
   std::cout << "=== " << spec.figure << ": average wasted time, n = " << spec.tasks
             << " tasks ===\n"

@@ -45,6 +45,20 @@ class ContextPool {
 
 }  // namespace
 
+std::uint64_t splitmix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index) {
+  // The (cell_index + 1)-th state of the splitmix64 counter stream
+  // starting at base_seed, passed through the output mix.  Bijective in
+  // cell_index for a fixed base seed, so cells never collide.
+  constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+  return splitmix64(base_seed + (cell_index + 1) * kGolden);
+}
+
 std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const {
   // Flatten (job, replica) into one index space so threads stay busy
   // across job boundaries (a grid's last job must not serialize).

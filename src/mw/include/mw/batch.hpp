@@ -20,6 +20,24 @@ struct BatchJob {
   std::uint64_t seed_stride = 1;
 };
 
+/// The splitmix64 output function (Steele/Lea/Flood mix of a
+/// golden-ratio-incremented counter).  A bijective avalanche mix: every
+/// input bit affects every output bit.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+/// Decorrelated per-cell base seed for cell `cell_index` of a grid
+/// whose experiment declares `base_seed`: the cell_index-th output of a
+/// splitmix64 stream seeded with base_seed.
+///
+/// Grid layers (sweep::Grid) must derive cell seeds through this
+/// instead of reusing the base seed verbatim: with a shared base seed
+/// and the default seed_stride of 1, every cell would replay the exact
+/// same replica seed sequence, silently correlating all cells of the
+/// grid (their "independent" noise would be identical draws).  Single
+/// jobs run directly through BatchRunner are unaffected -- replica
+/// seeding stays `config.seed + seed_stride * r`.
+[[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index);
+
 /// Aggregated outcome of one BatchJob: summary statistics of the
 /// paper's measured values over the job's replicas.
 struct BatchResult {

@@ -122,6 +122,32 @@ std::vector<BoldCell> run_bold_experiment(const BoldOptions& options) {
   return cells;
 }
 
+std::string bold_sim_spec_text(const BoldOptions& options) {
+  // Mirrors make_sim_job: the base keys are the job fields, the axes
+  // are the grid dimensions.  mu/sigma are spelled out because the
+  // BOLD parameters coincide with the workload moments by construction,
+  // not by default.
+  std::string text;
+  text += "# simulation side of the BOLD reproduction grid (paper Figures 5-8)\n";
+  text += "# generated by repro::bold_sim_spec_text; run with: dls_sweep <this file>\n";
+  text += "workload exponential:" + support::fmt_shortest(options.mu) + "\n";
+  text += "tasks " + std::to_string(options.tasks) + "\n";
+  text += "h " + support::fmt_shortest(options.h) + "\n";
+  text += "mu " + support::fmt_shortest(options.mu) + "\n";
+  text += "sigma " + support::fmt_shortest(options.sigma) + "\n";
+  text += "seed " + std::to_string(options.seed_simgrid) + "\n";
+  text += "replicas " + std::to_string(options.runs) + "\n";
+  text += "seed_stride " + std::to_string(kSimSeedStride) + "\n";
+  text += "sweep technique";
+  for (const dls::Kind technique : options.techniques) {
+    text += ' ' + dls::to_string(technique);
+  }
+  text += "\nsweep workers";
+  for (const std::size_t pes : options.pes) text += ' ' + std::to_string(pes);
+  text += "\n";
+  return text;
+}
+
 std::vector<double> bold_sim_run_series(const BoldOptions& options, dls::Kind technique,
                                         std::size_t pes) {
   mw::BatchRunner::Options batch_options;

@@ -36,6 +36,10 @@ double to_double(const std::string& v, LineRef line) {
     const double out = std::stod(v, &pos);
     if (pos != v.size()) throw std::invalid_argument("");
     return out;
+  } catch (const std::out_of_range&) {
+    // Distinct from a malformed number: "1e999" is well-formed but not
+    // representable, and must not silently clamp or crash the parse.
+    parse_error(line, "number out of range of double: " + v);
   } catch (const std::exception&) {
     parse_error(line, "bad number: " + v);
   }
@@ -47,6 +51,26 @@ std::size_t to_size(const std::string& v, LineRef line) {
     parse_error(line, "expected a non-negative integer: " + v);
   }
   return static_cast<std::size_t>(d);
+}
+
+/// Exact 64-bit unsigned parse for seeds: the double path of to_size
+/// would silently round values above 2^53, and grid records carry full
+/// 64-bit derived seeds that must replay bit-exactly.  Falls back to
+/// the double path for scientific notation ("1e6"), which is exact in
+/// the range it accepts.
+std::uint64_t to_uint64(const std::string& v, LineRef line) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec == std::errc{} && ptr == v.data() + v.size()) return out;
+  if (ec == std::errc::result_out_of_range) {
+    parse_error(line, "number out of range of uint64: " + v);
+  }
+  const double d = to_double(v, line);
+  if (d < 0.0 || d > 9007199254740992.0 /* 2^53 */ ||
+      d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    parse_error(line, "expected a non-negative integer: " + v);
+  }
+  return static_cast<std::uint64_t>(d);
 }
 
 bool to_bool(const std::string& v, LineRef line) {
@@ -111,6 +135,14 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
     std::istringstream ls(stripped);
     std::string key, value;
     if (!(ls >> key)) continue;
+    if (key == "sweep") {
+      // Checked before the trailing-token guard: sweep lines carry
+      // several values and would otherwise die with a confusing
+      // "unexpected trailing token".
+      parse_error(line,
+                  "'sweep' is a grid directive, not an experiment key; "
+                  "run this file through dls_sweep (sweep::parse_grid)");
+    }
     if (!(ls >> value)) parse_error(line, "key '" + key + "' is missing a value");
     std::string extra;
     if (ls >> extra) parse_error(line, "unexpected trailing token: " + extra);
@@ -142,7 +174,7 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
     } else if (key == "timesteps") {
       cfg.timesteps = to_size(value, line);
     } else if (key == "seed") {
-      cfg.seed = to_size(value, line);
+      cfg.seed = to_uint64(value, line);
     } else if (key == "overhead") {
       if (value == "analytic") cfg.overhead_mode = mw::OverheadMode::kAnalytic;
       else if (value == "simulated") cfg.overhead_mode = mw::OverheadMode::kSimulated;
@@ -183,6 +215,9 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
     } else if (key == "replicas") {
       spec.replicas = to_size(value, line);
       if (spec.replicas == 0) parse_error(line, "replicas must be >= 1");
+    } else if (key == "seed_stride") {
+      spec.seed_stride = to_uint64(value, line);
+      if (spec.seed_stride == 0) parse_error(line, "seed_stride must be >= 1");
     } else if (key == "threads") {
       spec.threads = static_cast<unsigned>(to_size(value, line));
     } else {
@@ -293,6 +328,7 @@ std::string serialize_experiment_spec(const ExperimentSpec& spec) {
     emit(("profile" + std::to_string(i)).c_str(), joined);
   }
   if (spec.replicas != 1) emit("replicas", std::to_string(spec.replicas));
+  if (spec.seed_stride != 1) emit("seed_stride", std::to_string(spec.seed_stride));
   if (spec.threads != 0) emit("threads", std::to_string(spec.threads));
   return out.str();
 }
@@ -323,6 +359,7 @@ void print_replica_summary(const ExperimentSpec& spec, std::ostream& out) {
   mw::BatchJob job;
   job.config = spec.config;
   job.replicas = spec.replicas;
+  job.seed_stride = spec.seed_stride;
   mw::BatchRunner::Options options;
   options.threads = spec.threads;
   const mw::BatchResult r = mw::BatchRunner(options).run_one(job);
@@ -330,8 +367,13 @@ void print_replica_summary(const ExperimentSpec& spec, std::ostream& out) {
   const mw::Config& cfg = spec.config;
   out << "technique " << dls::to_string(cfg.technique) << ", " << cfg.tasks << " tasks x "
       << cfg.timesteps << " timesteps, " << cfg.workers << " workers, "
-      << cfg.workload->name() << ", " << spec.replicas << " replicas (seeds " << cfg.seed
-      << ".." << cfg.seed + spec.replicas - 1 << ")\n";
+      << cfg.workload->name() << ", " << spec.replicas << " replicas (seeds " << cfg.seed;
+  if (spec.seed_stride == 1) {
+    out << ".." << cfg.seed + spec.replicas - 1;
+  } else {
+    out << " + " << spec.seed_stride << "*r";
+  }
+  out << ")\n";
   support::Table table({"measured value", "mean", "stddev", "min", "max"});
   auto row = [&](const char* name, const stats::Summary& s, int digits) {
     table.add_row({name, support::fmt(s.mean, digits), support::fmt(s.stddev, digits),

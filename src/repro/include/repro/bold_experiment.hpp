@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dls/params.hpp"
@@ -57,6 +58,14 @@ struct BoldCell {
 /// configuration (the series behind paper Figure 9).
 [[nodiscard]] std::vector<double> bold_sim_run_series(const BoldOptions& options,
                                                       dls::Kind technique, std::size_t pes);
+
+/// The simulation-side grid of a Figure 5-8 experiment rendered as a
+/// sweep spec (sweep/grid.hpp): technique x PEs, `runs` replicas per
+/// cell, the same base parameters run_bold_experiment feeds the simx
+/// side.  `bench_fig5..8 --sweep-spec | dls_sweep -` regenerates the
+/// simulation side through the sharded/resumable grid service (with
+/// decorrelated per-cell seeds -- see mw::derive_cell_seed).
+[[nodiscard]] std::string bold_sim_spec_text(const BoldOptions& options);
 
 /// Format the four subfigures of a Figure 5-8 as tables:
 /// (a) original values, (b) simulation values, (c) discrepancy,

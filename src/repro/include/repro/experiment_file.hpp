@@ -30,7 +30,14 @@ namespace repro {
 ///   gss_min   1
 ///   rand48    false
 ///   replicas  1               # > 1 batches independent seeds (mw::BatchRunner)
+///   seed_stride 1             # replica r runs with seed + seed_stride * r
 ///   threads   0               # worker threads for replicas (0 = hardware)
+///
+/// A `sweep <key> <v1> <v2> ...` line is a grid directive, not an
+/// experiment key: sweep::parse_grid expands the cartesian product of
+/// all sweep lines into one experiment per cell (tools/dls_sweep).
+/// parse_experiment_spec rejects it with a pointer at dls_sweep so a
+/// grid spec fed to dls_sim fails loudly instead of dropping an axis.
 ///
 /// System-information extensions (the heterogeneity/resilience side of
 /// the Config space; all optional):
@@ -52,7 +59,8 @@ namespace repro {
 /// dimensions that live outside a single run.
 struct ExperimentSpec {
   mw::Config config;
-  std::size_t replicas = 1;  ///< replica r runs with seed + r
+  std::size_t replicas = 1;           ///< replica r runs with seed + seed_stride * r
+  std::uint64_t seed_stride = 1;      ///< seed distance between replicas
   unsigned threads = 0;
 };
 

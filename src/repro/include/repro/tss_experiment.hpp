@@ -54,6 +54,13 @@ struct TssPoint {
 
 [[nodiscard]] std::vector<TssPoint> run_tss_experiment(const TssOptions& options);
 
+/// The simulation side of one TSS series (one Figure 3/4 curve)
+/// rendered as a sweep spec over the PE axis.  A series couples several
+/// keys (technique + css_chunk/gss_min), which the cartesian sweep
+/// format cannot vary jointly, so each series is its own grid:
+/// `bench_fig3_tss_exp1 --sweep-spec --series "GSS(1)" | dls_sweep -`.
+[[nodiscard]] std::string tss_sim_spec_text(const TssOptions& options, const TssSeries& series);
+
 /// Speedup-vs-PEs table with one column pair (original, simgrid) per
 /// series -- the data behind Figures 3a/3b (or 4a/4b).
 [[nodiscard]] support::Table tss_speedup_table(const std::vector<TssPoint>& points,

@@ -17,6 +17,12 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 
 void Histogram::add(double x) {
   ++total_;
+  if (std::isnan(x)) {
+    // NaN passes both range guards below, and casting it to size_t is
+    // undefined behavior; count it instead of binning it.
+    ++nan_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
@@ -48,6 +54,7 @@ double Histogram::bin_hi(std::size_t bin) const {
 std::string Histogram::to_ascii(std::size_t bar_width) const {
   std::size_t max_count = std::max<std::size_t>(1, underflow_);
   max_count = std::max(max_count, overflow_);
+  max_count = std::max(max_count, nan_);
   for (std::size_t c : counts_) max_count = std::max(max_count, c);
 
   std::ostringstream os;
@@ -62,6 +69,7 @@ std::string Histogram::to_ascii(std::size_t bar_width) const {
     line("[" + support::fmt(bin_lo(b), 1) + ", " + support::fmt(bin_hi(b), 1) + ")", counts_[b]);
   }
   if (overflow_ > 0) line("          >= " + support::fmt(hi_, 1), overflow_);
+  if (nan_ > 0) line("          NaN", nan_);
   return os.str();
 }
 

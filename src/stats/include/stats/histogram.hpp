@@ -8,8 +8,10 @@
 namespace stats {
 
 /// Equal-width histogram over [lo, hi); values outside the range are
-/// counted in the under/overflow bins.  Used by the Figure 9 bench to
-/// show the heavy tail of FAC's per-run wasted times.
+/// counted in the under/overflow bins and NaN in its own bin (a NaN
+/// passes neither range guard, and casting it to an index is undefined
+/// behavior).  Used by the Figure 9 bench to show the heavy tail of
+/// FAC's per-run wasted times.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -21,6 +23,7 @@ class Histogram {
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t underflow() const { return underflow_; }
   [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t nan_count() const { return nan_; }
   [[nodiscard]] std::size_t total() const { return total_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
@@ -33,6 +36,7 @@ class Histogram {
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
 };
 

@@ -40,7 +40,10 @@ class Accumulator {
   double max_ = 0.0;
 };
 
-/// Fixed summary of a sample.
+/// Fixed summary of a sample.  NaN inputs are excluded from every
+/// statistic and reported in `nan_count` (a NaN would otherwise poison
+/// the mean and break the strict weak ordering the percentiles sort
+/// with); `count` is the number of finite-or-infinite values summarized.
 struct Summary {
   std::size_t count = 0;
   double mean = 0.0;
@@ -48,21 +51,35 @@ struct Summary {
   double min = 0.0;
   double max = 0.0;
   double median = 0.0;
+  double p5 = 0.0;
   double p95 = 0.0;
+  /// Normal-approximation 95% confidence interval of the mean:
+  /// mean -+ 1.96 * stddev / sqrt(count).  Collapses to the mean for
+  /// count < 2 (stddev is 0 there).
+  double ci95_lo = 0.0;
+  double ci95_hi = 0.0;
+  /// Number of NaN inputs excluded from the statistics above.
+  std::size_t nan_count = 0;
 };
 
 [[nodiscard]] Summary summarize(std::span<const double> values);
 
-/// Linear-interpolated percentile, q in [0, 1].  Sorts a copy.
+/// Linear-interpolated percentile, q in [0, 1].  Sorts a copy.  Throws
+/// std::invalid_argument on an empty sample, q outside [0, 1], or a NaN
+/// in the sample (NaN has no rank; sorting it is undefined behavior of
+/// std::sort's strict-weak-ordering contract).
 [[nodiscard]] double percentile(std::span<const double> values, double q);
 
 /// Mean after removing every value strictly above `cutoff` -- the
 /// paper's Figure 9 analysis removes the FAC runs with average wasted
 /// time above 400 s before re-averaging.  Returns the new mean and the
-/// number of removed values.
+/// number of removed values.  NaN values are neither kept nor counted
+/// as removed (`NaN > cutoff` is false, so they would silently poison
+/// the mean); they are reported separately in `nans`.
 struct TrimmedMean {
   double mean = 0.0;
   std::size_t removed = 0;
+  std::size_t nans = 0;
 };
 [[nodiscard]] TrimmedMean mean_below(std::span<const double> values, double cutoff);
 

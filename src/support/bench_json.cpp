@@ -1,0 +1,18 @@
+#include "support/bench_json.hpp"
+
+#include <ostream>
+
+namespace support {
+
+void write_bench_json(std::ostream& out, const std::vector<BenchJsonEntry>& entries) {
+  out << "{\n  \"schema\": \"dls-bench-v1\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    out << "    {\"name\": \"" << e.name << "\", \"real_time_ms\": " << e.real_time_ms;
+    if (e.items_per_second) out << ", \"items_per_second\": " << *e.items_per_second;
+    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace support

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace support {
+
+/// One entry of the compact perf-trajectory files (BENCH_*.json).
+struct BenchJsonEntry {
+  std::string name;
+  double real_time_ms = 0.0;
+  std::optional<double> items_per_second;
+};
+
+/// Render the dls-bench-v1 schema.  The single emitter shared by every
+/// pipeline that produces BENCH_*.json (bench_to_json, dls_sweep
+/// bench), so the files CI diffs against each other cannot drift in
+/// format.
+void write_bench_json(std::ostream& out, const std::vector<BenchJsonEntry>& entries);
+
+}  // namespace support

@@ -1,0 +1,161 @@
+#include "sweep/grid.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sweep {
+namespace {
+
+[[noreturn]] void grid_error(std::size_t line_no, const std::string& line_text,
+                             const std::string& message) {
+  throw std::invalid_argument("sweep line " + std::to_string(line_no) + " ('" + line_text +
+                              "'): " + message);
+}
+
+}  // namespace
+
+std::size_t Grid::cells() const {
+  std::size_t product = 1;
+  for (const Axis& axis : axes) {
+    if (axis.values.empty()) return 0;
+    if (product > std::numeric_limits<std::size_t>::max() / axis.values.size()) {
+      throw std::invalid_argument("sweep grid overflows size_t (axis '" + axis.key + "')");
+    }
+    product *= axis.values.size();
+  }
+  return product;
+}
+
+Grid parse_grid(std::string_view text) {
+  Grid grid;
+  std::istringstream is{std::string(text)};
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    std::string stripped = raw;
+    if (const auto hash = stripped.find('#'); hash != std::string::npos) stripped.resize(hash);
+    std::istringstream ls(stripped);
+    std::string first;
+    if (!(ls >> first) || first != "sweep") {
+      grid.base_text += raw;
+      grid.base_text += '\n';
+      continue;
+    }
+
+    Axis axis;
+    axis.line_no = line_no;
+    if (!(ls >> axis.key)) grid_error(line_no, raw, "sweep directive is missing a key");
+    if (axis.key == "sweep") grid_error(line_no, raw, "'sweep sweep' is not a key");
+    std::string value;
+    while (ls >> value) {
+      for (const std::string& existing : axis.values) {
+        if (existing == value) {
+          // A typo'd repeat would silently run duplicate cells (and
+          // emit duplicate BENCH entry names in bench mode).
+          grid_error(line_no, raw,
+                     "duplicate value '" + value + "' in sweep axis '" + axis.key + "'");
+        }
+      }
+      axis.values.push_back(value);
+    }
+    if (axis.values.empty()) {
+      grid_error(line_no, raw, "sweep axis '" + axis.key + "' has no values");
+    }
+    for (const Axis& existing : grid.axes) {
+      if (existing.key == axis.key) {
+        grid_error(line_no, raw,
+                   "duplicate sweep axis '" + axis.key + "' (first declared on line " +
+                       std::to_string(existing.line_no) + ")");
+      }
+    }
+    grid.axes.push_back(std::move(axis));
+  }
+
+  if (grid.cells() == 0) throw std::invalid_argument("sweep grid has no cells");
+  // Validate every axis value now: parse the cell that combines value
+  // v of axis a with value 0 of every other axis, so a typo in any
+  // swept key or value fails at declaration time, not an hour into the
+  // sweep.  That is sum(axis sizes) parses, not the full product.
+  std::size_t stride = 1;
+  std::vector<std::size_t> strides(grid.axes.size(), 1);
+  for (std::size_t a = grid.axes.size(); a-- > 0;) {
+    strides[a] = stride;
+    stride *= grid.axes[a].values.size();
+  }
+  auto validate = [&](std::size_t index, const char* what) {
+    try {
+      (void)cell(grid, index);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("sweep grid: ") + what + " does not parse: " +
+                                  e.what());
+    }
+  };
+  validate(0, "cell 0");
+  for (std::size_t a = 0; a < grid.axes.size(); ++a) {
+    for (std::size_t v = 1; v < grid.axes[a].values.size(); ++v) {
+      validate(v * strides[a],
+               ("axis '" + grid.axes[a].key + "' value '" + grid.axes[a].values[v] + "'").c_str());
+    }
+  }
+  return grid;
+}
+
+namespace {
+
+/// Mixed-radix decode of `index`, last axis fastest (row-major in axis
+/// declaration order).
+std::vector<std::pair<std::string, std::string>> decode_assignment(const Grid& grid,
+                                                                   std::size_t index) {
+  const std::size_t total = grid.cells();
+  if (index >= total) {
+    throw std::out_of_range("sweep cell " + std::to_string(index) + " out of range (grid has " +
+                            std::to_string(total) + " cells)");
+  }
+  std::vector<std::pair<std::string, std::string>> assignment(grid.axes.size());
+  std::size_t remainder = index;
+  for (std::size_t a = grid.axes.size(); a-- > 0;) {
+    const Axis& axis = grid.axes[a];
+    assignment[a] = {axis.key, axis.values[remainder % axis.values.size()]};
+    remainder /= axis.values.size();
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::string cell_text(const Grid& grid, std::size_t index) {
+  std::string text = grid.base_text;
+  for (const auto& [key, value] : decode_assignment(grid, index)) {
+    text += key;
+    text += ' ';
+    text += value;
+    text += '\n';
+  }
+  return text;
+}
+
+Cell cell(const Grid& grid, std::size_t index) {
+  Cell out;
+  out.index = index;
+  out.assignment = decode_assignment(grid, index);
+  out.spec = repro::parse_experiment_spec(cell_text(grid, index));
+  return out;
+}
+
+mw::BatchJob batch_job(const Grid& grid, const Cell& cell) {
+  mw::BatchJob job;
+  job.config = cell.spec.config;
+  job.replicas = cell.spec.replicas;
+  job.seed_stride = cell.spec.seed_stride;
+  if (!grid.axes.empty()) {
+    // Decorrelate the cells: with a shared base seed and the default
+    // stride of 1, every cell would otherwise replay the same replica
+    // seed sequence (see mw::derive_cell_seed).
+    job.config.seed = mw::derive_cell_seed(cell.spec.config.seed, cell.index);
+  }
+  return job;
+}
+
+}  // namespace sweep

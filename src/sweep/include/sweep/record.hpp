@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mw/batch.hpp"
+#include "sweep/grid.hpp"
+
+namespace sweep {
+
+/// Render one completed cell as a single JSONL record:
+///
+///   {"cell":12,"of":40,"sweep":{"technique":"GSS","workers":"64"},
+///    "seed":13623984377702626965,"seed_stride":1,"replicas":100,
+///    "experiment":"technique GSS\n...","makespan":{...},
+///    "avg_wasted_time":{...},"speedup":{...},"chunks":{...}}
+///
+/// `experiment` is the serialized cell spec with the derived seed
+/// applied -- paste it into `dls_sim -` to replay the cell.  Each
+/// summary object carries count/mean/stddev/min/max/median/p5/p95/
+/// ci95_lo/ci95_hi/nan_count (stats::Summary).  All doubles use
+/// shortest round-trip formatting, so re-running a cell renders a
+/// byte-identical record and shard merges are deterministic.
+[[nodiscard]] std::string render_record(const Grid& grid, const Cell& cell,
+                                        const mw::BatchJob& job, const mw::BatchResult& result);
+
+/// The "cell" field of a record line; nullopt if the line is not a
+/// complete record (e.g. truncated by a mid-write kill).
+[[nodiscard]] std::optional<std::size_t> record_cell_index(std::string_view line);
+
+/// The "of" field (grid size) of a record line; nullopt if the line is
+/// not a complete record.
+[[nodiscard]] std::optional<std::size_t> record_grid_size(std::string_view line);
+
+/// The unescaped "experiment" echo of a record line; nullopt if the
+/// line is not a complete record.
+[[nodiscard]] std::optional<std::string> record_experiment(std::string_view line);
+
+/// The experiment echo a record of cell `index` must carry (the
+/// serialized cell spec with the derived seed applied -- what
+/// render_record embeds).
+[[nodiscard]] std::string cell_experiment_text(const Grid& grid, std::size_t index);
+
+/// Check that previously written records actually belong to `grid`:
+/// every record's grid size must equal grid.cells(), its cell index
+/// must be in range, and its experiment echo must be byte-identical to
+/// what the grid would run for that cell.  Throws std::invalid_argument
+/// otherwise -- resuming with the wrong spec (or onto the wrong output
+/// file) must fail loudly, not silently keep stale results.
+void validate_records_for_grid(const Grid& grid, const std::vector<std::string>& lines);
+
+/// What a resume scan found in an existing output file.
+struct ScanResult {
+  std::set<std::size_t> done;       ///< cell indices with a complete record
+  std::vector<std::string> lines;   ///< the complete records, in file order
+  bool dropped_partial_tail = false;  ///< a truncated final line was discarded
+};
+
+/// Scan an existing sweep output for resumable state.  A malformed
+/// *final* line is the signature of a kill mid-write and is dropped
+/// (reported via dropped_partial_tail); a malformed line anywhere else
+/// means the file is not a sweep output and throws.  Duplicate cell
+/// records must be byte-identical (the deterministic-record guarantee);
+/// conflicting duplicates throw.
+[[nodiscard]] ScanResult scan_records(std::istream& in);
+
+/// Deterministically merge shard outputs (e.g. from independent
+/// machines): records are deduplicated (byte-identical duplicates
+/// collapse; conflicting records for the same cell throw) and returned
+/// sorted by cell index, so any shard arrival order produces the same
+/// merged file.  Records must agree on the grid size ("of" field).
+[[nodiscard]] std::vector<std::string> merge_records(
+    const std::vector<std::vector<std::string>>& shards);
+
+}  // namespace sweep

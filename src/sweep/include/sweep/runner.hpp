@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <set>
+
+#include "sweep/grid.hpp"
+
+namespace sweep {
+
+/// Shards a grid over mw::BatchRunner and streams one JSONL record per
+/// completed cell (see sweep/record.hpp).  Cells are visited in index
+/// order; each cell's replicas run in parallel through the batch
+/// runner, and the record is flushed before the next cell starts, so a
+/// killed sweep loses at most the cell in flight.  Combined with
+/// scan_records this makes a sweep resumable: pass the scanned `done`
+/// set and completed cells are skipped instead of recomputed.
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads per cell; 0 = the cell spec's `threads` key
+    /// (which itself defaults to the hardware concurrency).
+    unsigned threads = 0;
+    /// This process runs the cells with index % shard_count ==
+    /// shard_index -- round-robin, so every shard sees a mix of cheap
+    /// and expensive cells of a grid ordered by size.
+    std::size_t shard_index = 0;
+    std::size_t shard_count = 1;
+    /// Stop after computing this many new cells (0 = no limit).  The
+    /// deterministic stand-in for "the machine died mid-sweep" in the
+    /// resume tests and CI.
+    std::size_t max_cells = 0;
+  };
+
+  /// Progress callback, invoked once per owned cell.
+  struct CellEvent {
+    std::size_t cell = 0;         ///< cell index
+    std::size_t cells_total = 0;  ///< grid size
+    bool skipped = false;         ///< already present in the output
+  };
+  using Observer = std::function<void(const CellEvent&)>;
+
+  SweepRunner() = default;
+  explicit SweepRunner(Options options);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Run the grid, skipping cells in `done` (and cells owned by other
+  /// shards); append one record line per computed cell to `out`.
+  /// Returns the number of cells computed.
+  std::size_t run(const Grid& grid, const std::set<std::size_t>& done, std::ostream& out,
+                  const Observer& observer = {}) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace sweep

@@ -1,0 +1,57 @@
+#include "sweep/runner.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "sweep/record.hpp"
+
+namespace sweep {
+
+SweepRunner::SweepRunner(Options options) : options_(options) {
+  if (options_.shard_count == 0) {
+    throw std::invalid_argument("SweepRunner: shard_count must be >= 1");
+  }
+  if (options_.shard_index >= options_.shard_count) {
+    throw std::invalid_argument("SweepRunner: shard_index " +
+                                std::to_string(options_.shard_index) +
+                                " out of range for shard_count " +
+                                std::to_string(options_.shard_count));
+  }
+}
+
+std::size_t SweepRunner::run(const Grid& grid, const std::set<std::size_t>& done,
+                             std::ostream& out, const Observer& observer) const {
+  const std::size_t total = grid.cells();
+  std::size_t computed = 0;
+  for (std::size_t index = 0; index < total; ++index) {
+    if (index % options_.shard_count != options_.shard_index) continue;
+    if (done.contains(index)) {
+      if (observer) observer(CellEvent{index, total, /*skipped=*/true});
+      continue;
+    }
+    if (options_.max_cells != 0 && computed >= options_.max_cells) break;
+
+    const Cell c = cell(grid, index);
+    const mw::BatchJob job = batch_job(grid, c);
+    mw::BatchRunner::Options batch_options;
+    batch_options.threads = options_.threads != 0 ? options_.threads : c.spec.threads;
+    const mw::BatchResult result = mw::BatchRunner(batch_options).run_one(job);
+
+    // One line per cell, flushed before the next cell starts: a kill
+    // loses at most the cell in flight (and a partial final line, which
+    // scan_records drops on resume).
+    out << render_record(grid, c, job, result) << '\n' << std::flush;
+    if (!out) {
+      // A full disk or write error must not let the sweep report
+      // success over a truncated output.
+      throw std::runtime_error("sweep: writing the record for cell " + std::to_string(index) +
+                               " failed (disk full?)");
+    }
+    ++computed;
+    if (observer) observer(CellEvent{index, total, /*skipped=*/false});
+  }
+  return computed;
+}
+
+}  // namespace sweep

@@ -121,6 +121,68 @@ TEST(ExperimentFile, ParsesReplicasAndThreads) {
   EXPECT_EQ(repro::parse_experiment_spec(kValid).replicas, 1u);
 }
 
+TEST(ExperimentFile, ParsesSeedStride) {
+  const repro::ExperimentSpec spec = repro::parse_experiment_spec(
+      "technique SS\ntasks 64\nworkers 2\nworkload constant:1.0\nreplicas 3\nseed_stride 104729\n");
+  EXPECT_EQ(spec.seed_stride, 104729u);
+  EXPECT_EQ(repro::parse_experiment_spec(kValid).seed_stride, 1u);  // default
+  EXPECT_THROW((void)repro::parse_experiment_spec(
+                   "technique SS\ntasks 64\nworkers 2\nworkload constant:1.0\nseed_stride 0\n"),
+               std::invalid_argument);
+  // Round-trips through the serializer (omitted at its default of 1).
+  const std::string text = repro::serialize_experiment_spec(spec);
+  EXPECT_NE(text.find("seed_stride 104729"), std::string::npos) << text;
+  EXPECT_EQ(repro::parse_experiment_spec(text).seed_stride, 104729u);
+  const std::string no_stride =
+      repro::serialize_experiment_spec(repro::parse_experiment_spec(kValid));
+  EXPECT_EQ(no_stride.find("seed_stride"), std::string::npos) << no_stride;
+}
+
+TEST(ExperimentFile, Full64BitSeedsRoundTripExactly) {
+  // Grid records carry splitmix64-derived seeds that use all 64 bits; a
+  // double-path parse would silently round them and the record's
+  // replayable `experiment` echo would replay a *different* run.
+  const repro::ExperimentSpec spec = repro::parse_experiment_spec(
+      "technique SS\ntasks 64\nworkers 2\nworkload constant:1.0\nseed 13679457532755275413\n");
+  EXPECT_EQ(spec.config.seed, 13679457532755275413ULL);
+  const std::string text = repro::serialize_experiment_spec(spec);
+  EXPECT_EQ(repro::parse_experiment_spec(text).config.seed, 13679457532755275413ULL);
+  // Scientific notation still works where it is exact.
+  EXPECT_EQ(repro::parse_experiment("technique SS\ntasks 64\nworkers 2\n"
+                                    "workload constant:1.0\nseed 1e6\n")
+                .seed,
+            1000000u);
+}
+
+TEST(ExperimentFile, OutOfRangeNumberIsALineNumberedError) {
+  // std::stod throws out_of_range for "1e999"; the wrapper must turn
+  // that into the usual line-numbered parse error, not propagate a
+  // bare out_of_range (or worse, clamp silently).
+  try {
+    (void)repro::parse_experiment("technique SS\ntasks 64\nworkers 2\n"
+                                  "workload constant:1.0\nlatency 1e999\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 5"), std::string::npos) << message;
+    EXPECT_NE(message.find("latency 1e999"), std::string::npos) << message;
+    EXPECT_NE(message.find("out of range"), std::string::npos) << message;
+  }
+}
+
+TEST(ExperimentFile, SweepLineIsRejectedWithGridHint) {
+  // A grid spec fed to the single-experiment parser must fail loudly
+  // and point at dls_sweep, not die on a confusing trailing token.
+  try {
+    (void)repro::parse_experiment("technique SS\nsweep workers 2 4 8\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("dls_sweep"), std::string::npos) << message;
+  }
+}
+
 TEST(ExperimentFile, ParsesSystemInformationExtensions) {
   const char* text = R"(
 technique WF

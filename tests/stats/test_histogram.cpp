@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "stats/histogram.hpp"
 
 namespace {
@@ -52,6 +54,33 @@ TEST(Histogram, AsciiRenderingShowsBars) {
   EXPECT_NE(art.find("##########"), std::string::npos);  // fullest bin maxes out
   EXPECT_NE(art.find(" 2"), std::string::npos);
   EXPECT_NE(art.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, NanGoesToItsOwnBucket) {
+  // Regression: NaN passes both range guards (NaN < lo and NaN >= hi
+  // are false), so it used to be cast to a bin index -- undefined
+  // behavior.  It must land in the counted NaN bucket instead.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(3.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    EXPECT_EQ(h.count(b), b == 1 ? 1u : 0u) << "bin " << b;
+  }
+  EXPECT_NE(h.to_ascii().find("NaN"), std::string::npos);
+}
+
+TEST(Histogram, InfinityStillCountsAsOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(Histogram, RejectsBadConstruction) {

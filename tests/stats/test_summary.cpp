@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/summary.hpp"
@@ -79,6 +80,53 @@ TEST(Summarize, EmptyInputGivesZeroSummary) {
   EXPECT_DOUBLE_EQ(s.mean, 0.0);
 }
 
+TEST(Percentile, RejectsNaN) {
+  // NaN breaks std::sort's strict-weak-ordering contract (UB); the
+  // sample is rejected instead of producing a garbage rank.
+  const std::vector<double> xs = {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+  EXPECT_THROW((void)stats::percentile(xs, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, PercentilesAndConfidenceInterval) {
+  std::vector<double> xs(101);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);  // 0..100
+  const stats::Summary s = stats::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.p5, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.0);
+  // Normal approximation: mean -+ 1.96 * stddev / sqrt(n).
+  const double half = 1.959963984540054 * s.stddev / std::sqrt(101.0);
+  EXPECT_DOUBLE_EQ(s.ci95_lo, s.mean - half);
+  EXPECT_DOUBLE_EQ(s.ci95_hi, s.mean + half);
+  EXPECT_EQ(s.nan_count, 0u);
+}
+
+TEST(Summarize, SingleValueCollapsesConfidenceInterval) {
+  const stats::Summary s = stats::summarize(std::vector<double>{3.5});
+  EXPECT_DOUBLE_EQ(s.ci95_lo, 3.5);
+  EXPECT_DOUBLE_EQ(s.ci95_hi, 3.5);
+}
+
+TEST(Summarize, CountsAndExcludesNaN) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs = {nan, 1.0, 3.0, nan, 5.0};
+  const stats::Summary s = stats::summarize(xs);
+  EXPECT_EQ(s.nan_count, 2u);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, AllNaNGivesEmptySummary) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const stats::Summary s = stats::summarize(std::vector<double>{nan, nan});
+  EXPECT_EQ(s.nan_count, 2u);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
 TEST(MeanBelow, ReplicatesFigure9Trimming) {
   // Paper Figure 9: of 1000 runs, 15 values above 400 s are excluded
   // and the mean recomputed.
@@ -95,6 +143,18 @@ TEST(MeanBelow, NoRemovalKeepsMean) {
   const stats::TrimmedMean t = stats::mean_below(xs, 100.0);
   EXPECT_EQ(t.removed, 0u);
   EXPECT_DOUBLE_EQ(t.mean, 2.0);
+}
+
+TEST(MeanBelow, NaNNeitherKeptNorRemoved) {
+  // Regression: NaN > cutoff is false, so NaN used to be *included*
+  // and silently turned the trimmed mean into NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> xs = {10.0, nan, 500.0, nan, 10.0};
+  const stats::TrimmedMean t = stats::mean_below(xs, 400.0);
+  EXPECT_EQ(t.removed, 1u);
+  EXPECT_EQ(t.nans, 2u);
+  EXPECT_DOUBLE_EQ(t.mean, 10.0);
+  EXPECT_FALSE(std::isnan(t.mean));
 }
 
 TEST(Discrepancy, SignConventionMatchesPaper) {

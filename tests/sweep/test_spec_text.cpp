@@ -1,0 +1,74 @@
+// The generated sweep specs (repro::bold_sim_spec_text /
+// repro::tss_sim_spec_text) must expand to exactly the grids the repro
+// drivers build by hand -- otherwise `bench_figN --sweep-spec |
+// dls_sweep -` would silently run a different experiment than the
+// bench it mirrors.
+
+#include <gtest/gtest.h>
+
+#include "repro/bold_experiment.hpp"
+#include "repro/tss_experiment.hpp"
+#include "sweep/grid.hpp"
+
+namespace {
+
+TEST(SpecText, BoldSpecExpandsToTheFigureGrid) {
+  repro::BoldOptions options;
+  options.tasks = 8192;
+  options.runs = 25;
+  const sweep::Grid grid = sweep::parse_grid(repro::bold_sim_spec_text(options));
+
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axes[0].key, "technique");
+  EXPECT_EQ(grid.axes[1].key, "workers");
+  ASSERT_EQ(grid.cells(), options.techniques.size() * options.pes.size());
+
+  std::size_t index = 0;
+  for (const dls::Kind technique : options.techniques) {
+    for (const std::size_t pes : options.pes) {
+      const sweep::Cell c = sweep::cell(grid, index++);
+      // The fields of repro's make_sim_job, reproduced from the text.
+      EXPECT_EQ(c.spec.config.technique, technique);
+      EXPECT_EQ(c.spec.config.workers, pes);
+      EXPECT_EQ(c.spec.config.tasks, 8192u);
+      EXPECT_DOUBLE_EQ(c.spec.config.params.h, options.h);
+      EXPECT_DOUBLE_EQ(c.spec.config.params.mu, options.mu);
+      EXPECT_DOUBLE_EQ(c.spec.config.params.sigma, options.sigma);
+      EXPECT_DOUBLE_EQ(c.spec.config.workload->mean(), options.mu);
+      EXPECT_EQ(c.spec.config.overhead_mode, mw::OverheadMode::kAnalytic);
+      EXPECT_EQ(c.spec.config.seed, options.seed_simgrid);
+      EXPECT_EQ(c.spec.replicas, 25u);
+      EXPECT_EQ(c.spec.seed_stride, 104729u);
+    }
+  }
+}
+
+TEST(SpecText, TssSeriesSpecExpandsToThePeAxis) {
+  const repro::TssOptions options = repro::tss_experiment1();
+  // GSS(80): the series whose coupled gss_min knob forced the
+  // one-grid-per-series design.
+  const repro::TssSeries* gss80 = nullptr;
+  for (const repro::TssSeries& s : options.series) {
+    if (s.label == "GSS(80)") gss80 = &s;
+  }
+  ASSERT_NE(gss80, nullptr);
+
+  const sweep::Grid grid = sweep::parse_grid(repro::tss_sim_spec_text(options, *gss80));
+  ASSERT_EQ(grid.axes.size(), 1u);
+  EXPECT_EQ(grid.axes[0].key, "workers");
+  ASSERT_EQ(grid.cells(), options.pes.size());
+  for (std::size_t i = 0; i < grid.cells(); ++i) {
+    const sweep::Cell c = sweep::cell(grid, i);
+    EXPECT_EQ(c.spec.config.technique, dls::Kind::kGSS);
+    EXPECT_EQ(c.spec.config.workers, options.pes[i]);
+    EXPECT_EQ(c.spec.config.tasks, options.tasks);
+    EXPECT_EQ(c.spec.config.params.gss_min_chunk, 80u);
+    EXPECT_DOUBLE_EQ(c.spec.config.workload->mean(), options.task_seconds);
+    EXPECT_DOUBLE_EQ(c.spec.config.params.h, options.sim_overhead_h);
+    EXPECT_DOUBLE_EQ(c.spec.config.latency, options.sim_latency);
+    EXPECT_DOUBLE_EQ(c.spec.config.bandwidth, options.sim_bandwidth);
+    EXPECT_EQ(c.spec.config.overhead_mode, mw::OverheadMode::kSimulated);
+  }
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 // parser leans on google-benchmark's stable pretty-printed layout (one
 // "key": value pair per line inside the "benchmarks" array).
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -17,6 +18,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -46,6 +49,22 @@ std::optional<std::string> field(const std::string& line, const std::string& key
   return value;
 }
 
+/// Strict number parse for a benchmark field.  strtod without
+/// endptr/errno checking turns a malformed value into a silent 0.0
+/// entry -- a legitimate-looking but wrong data point in the tracked
+/// perf trajectory.  Reports the offending line (number and text), the
+/// same style as the experiment-file parse errors.
+double to_number(const std::string& value, std::size_t line_no, const std::string& line) {
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("bench json line " + std::to_string(line_no) + " ('" + line +
+                                "'): bad number: " + value);
+  }
+  return out;
+}
+
 double to_milliseconds(double value, const std::string& unit) {
   if (unit == "ns") return value * 1e-6;
   if (unit == "us") return value * 1e-3;
@@ -67,9 +86,11 @@ bool closes_object(const std::string& line) {
 std::vector<BenchEntry> parse_benchmarks(std::istream& in) {
   std::vector<BenchEntry> entries;
   std::string line;
+  std::size_t line_no = 0;
   bool in_benchmarks = false;
   std::optional<BenchEntry> current;
   while (std::getline(in, line)) {
+    ++line_no;
     if (!in_benchmarks) {
       if (line.find("\"benchmarks\":") != std::string::npos) in_benchmarks = true;
       continue;
@@ -91,11 +112,11 @@ std::vector<BenchEntry> parse_benchmarks(std::istream& in) {
       continue;
     }
     if (const auto v = field(line, "real_time")) {
-      current->real_time = std::strtod(v->c_str(), nullptr);
+      current->real_time = to_number(*v, line_no, line);
     } else if (const auto u = field(line, "time_unit")) {
       current->time_unit = *u;
     } else if (const auto ips = field(line, "items_per_second")) {
-      current->items_per_second = std::strtod(ips->c_str(), nullptr);
+      current->items_per_second = to_number(*ips, line_no, line);
     }
   }
   return entries;
@@ -132,23 +153,24 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  std::ostringstream out;
-  out << "{\n  \"schema\": \"dls-bench-v1\",\n  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const BenchEntry& e = entries[i];
-    out << "    {\"name\": \"" << e.name << "\", \"real_time_ms\": "
-        << to_milliseconds(e.real_time, e.time_unit);
-    if (e.items_per_second) out << ", \"items_per_second\": " << *e.items_per_second;
-    out << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+  std::vector<support::BenchJsonEntry> normalized;
+  normalized.reserve(entries.size());
+  try {
+    for (const BenchEntry& e : entries) {
+      normalized.push_back(
+          {e.name, to_milliseconds(e.real_time, e.time_unit), e.items_per_second});
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_to_json: " << e.what() << "\n";
+    return EXIT_FAILURE;
   }
-  out << "  ]\n}\n";
 
   std::ofstream output(output_path);
   if (!output) {
     std::cerr << "bench_to_json: cannot write " << output_path << "\n";
     return EXIT_FAILURE;
   }
-  output << out.str();
+  support::write_bench_json(output, normalized);
   std::cout << "bench_to_json: wrote " << entries.size() << " entries to " << output_path
             << "\n";
   return EXIT_SUCCESS;

@@ -1,0 +1,391 @@
+// dls_sweep: sharded, resumable experiment-grid service.
+//
+// Expands `sweep <key> <v1> <v2> ...` directives in an experiment file
+// (see repro/experiment_file.hpp and sweep/grid.hpp) into the cartesian
+// product of batched experiments, runs each cell through
+// mw::BatchRunner, and streams one JSONL record per completed cell.
+//
+//   dls_sweep grid.sweep --out results.jsonl             # run a grid
+//   dls_sweep grid.sweep --out results.jsonl --resume    # continue a killed sweep
+//   dls_sweep grid.sweep --out s0.jsonl --shard 0/3      # machine 0 of 3
+//   dls_sweep merge --out all.jsonl s0.jsonl s1.jsonl s2.jsonl
+//   dls_sweep grid.sweep --list                          # show the cells, don't run
+//   dls_sweep bench specs.sweep --name BM_E2ESweep --group tasks --json BENCH.json
+//
+// Every cell gets a decorrelated base seed (mw::derive_cell_seed,
+// splitmix64 over the cell index), so cells sharing the spec's base
+// seed do not replay the same replica seed sequence.  Records are
+// deterministic for a given spec: resuming, sharding, and merging all
+// produce byte-identical records, so `merge` output is independent of
+// how the grid was split.
+//
+// Exit codes: 0 = success, 1 = a simulation/run error, 2 = a parse or
+// usage error (parse errors name the offending line).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/bench_json.hpp"
+#include "support/flags.hpp"
+#include "sweep/record.hpp"
+#include "sweep/runner.hpp"
+
+namespace {
+
+constexpr int kExitRunError = 1;
+constexpr int kExitUsageError = 2;
+
+void print_usage(std::ostream& out, const support::Flags& flags) {
+  out << "usage: dls_sweep <spec-file | -> [options]        run a grid\n"
+         "       dls_sweep merge --out <file> <shard>...    merge shard outputs\n"
+         "       dls_sweep bench <spec-file> --name <BM_X> --group <axis> --json <file>\n"
+         "\n"
+         "Expands 'sweep <key> <v1> <v2> ...' lines of an experiment file into\n"
+         "a cartesian grid of batched runs; one JSONL record per cell.\n"
+         "With --resume, cells already in --out are skipped (a truncated final\n"
+         "line from a mid-write kill is dropped and recomputed).\n"
+         "\n"
+      << flags.usage();
+}
+
+std::string read_input(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) throw std::invalid_argument("cannot open " + path);
+    buffer << in.rdbuf();
+  }
+  return buffer.str();
+}
+
+void parse_shard(const std::string& text, sweep::SweepRunner::Options& options) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("--shard must be <index>/<count>, e.g. 0/4; got: " + text);
+  }
+  options.shard_index = static_cast<std::size_t>(std::stoull(text.substr(0, slash)));
+  options.shard_count = static_cast<std::size_t>(std::stoull(text.substr(slash + 1)));
+  if (options.shard_count == 0 || options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("--shard index out of range: " + text);
+  }
+}
+
+int run_mode(const support::Flags& flags) {
+  sweep::Grid grid;
+  try {
+    grid = sweep::parse_grid(read_input(flags.positional()[0]));
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+
+  sweep::SweepRunner::Options options;
+  options.threads = static_cast<unsigned>(flags.get_int("threads"));
+  options.max_cells = static_cast<std::size_t>(flags.get_int("max-cells"));
+  try {
+    parse_shard(flags.get("shard"), options);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+
+  if (flags.get_bool("list")) {
+    for (std::size_t i = 0; i < grid.cells(); ++i) {
+      const sweep::Cell c = sweep::cell(grid, i);
+      const mw::BatchJob job = sweep::batch_job(grid, c);
+      std::cout << "cell " << i;
+      for (const auto& [key, value] : c.assignment) std::cout << " " << key << "=" << value;
+      std::cout << " seed=" << job.config.seed << " replicas=" << job.replicas << "\n";
+    }
+    return EXIT_SUCCESS;
+  }
+
+  const std::string out_path = flags.get("out");
+  const bool resume = flags.get_bool("resume");
+  const bool quiet = flags.get_bool("quiet");
+  if (resume && out_path.empty()) {
+    std::cerr << "dls_sweep: --resume needs --out (stdout cannot be rescanned)\n";
+    return kExitUsageError;
+  }
+
+  sweep::ScanResult previous;
+  if (!out_path.empty()) {
+    std::ifstream existing(out_path);
+    if (existing) {
+      if (resume) {
+        try {
+          previous = sweep::scan_records(existing);
+          // Refuse to resume onto results of a different spec -- a
+          // wrong --out would otherwise silently keep stale records
+          // and skip their cells.
+          sweep::validate_records_for_grid(grid, previous.lines);
+        } catch (const std::exception& e) {
+          std::cerr << "dls_sweep: " << out_path << ": " << e.what() << "\n";
+          return kExitUsageError;
+        }
+        if (previous.dropped_partial_tail && !quiet) {
+          std::cerr << "dls_sweep: dropped a truncated final record (mid-write kill); "
+                       "its cell will be recomputed\n";
+        }
+      } else if (existing.peek() != std::ifstream::traits_type::eof() &&
+                 !flags.get_bool("overwrite")) {
+        std::cerr << "dls_sweep: " << out_path
+                  << " exists; pass --resume to continue it or --overwrite to discard it\n";
+        return kExitUsageError;
+      }
+    }
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    // Rewrite the surviving records (drops a truncated tail) into a
+    // temp file and rename it over the original, so a crash during the
+    // rewrite cannot destroy the completed records -- "a kill loses at
+    // most the cell in flight" must hold for the rewrite window too.
+    const std::string tmp_path = out_path + ".tmp";
+    {
+      std::ofstream tmp(tmp_path, std::ios::trunc);
+      if (!tmp) {
+        std::cerr << "dls_sweep: cannot write " << tmp_path << "\n";
+        return kExitRunError;
+      }
+      for (const std::string& line : previous.lines) tmp << line << '\n';
+      tmp.flush();
+      if (!tmp) {
+        std::cerr << "dls_sweep: failed writing " << tmp_path << "\n";
+        return kExitRunError;
+      }
+    }
+    if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+      std::cerr << "dls_sweep: cannot rename " << tmp_path << " over " << out_path << "\n";
+      return kExitRunError;
+    }
+    file.open(out_path, std::ios::app);
+    if (!file) {
+      std::cerr << "dls_sweep: cannot write " << out_path << "\n";
+      return kExitRunError;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  const auto observer = [&](const sweep::SweepRunner::CellEvent& event) {
+    if (quiet) return;
+    std::cerr << "dls_sweep: cell " << event.cell << "/" << event.cells_total
+              << (event.skipped ? " already done\n" : " done\n");
+  };
+
+  try {
+    const sweep::SweepRunner runner(options);
+    const std::size_t computed = runner.run(grid, previous.done, out, observer);
+    if (!quiet) {
+      std::cerr << "dls_sweep: computed " << computed << " cell(s), skipped "
+                << previous.done.size() << " of " << grid.cells() << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitRunError;
+  }
+  return EXIT_SUCCESS;
+}
+
+int merge_mode(const support::Flags& flags) {
+  const std::vector<std::string>& positional = flags.positional();
+  if (positional.size() < 2) {
+    std::cerr << "dls_sweep: merge needs at least one shard file\n";
+    return kExitUsageError;
+  }
+  // Bad inputs (unreadable shards, malformed or conflicting records)
+  // are usage errors; a failing *write* of the merged output is a run
+  // error -- the exit-code contract CI wrappers rely on.
+  std::vector<std::vector<std::string>> shards;
+  std::vector<std::string> merged;
+  try {
+    for (std::size_t i = 1; i < positional.size(); ++i) {
+      std::ifstream in(positional[i]);
+      if (!in) throw std::invalid_argument("cannot open " + positional[i]);
+      const sweep::ScanResult scanned = sweep::scan_records(in);
+      if (scanned.dropped_partial_tail) {
+        std::cerr << "dls_sweep: warning: " << positional[i]
+                  << " ends in a truncated record (killed shard?); that cell is missing "
+                     "until the shard is resumed\n";
+      }
+      shards.push_back(scanned.lines);
+    }
+    merged = sweep::merge_records(shards);
+    if (!merged.empty()) {
+      // Every record carries the grid size; an incomplete merge is
+      // legitimate (shards still running) but must not look complete.
+      const auto grid_size = sweep::record_grid_size(merged.front());
+      if (grid_size && merged.size() < *grid_size) {
+        std::cerr << "dls_sweep: warning: merged " << merged.size() << " of " << *grid_size
+                  << " cells; the grid is incomplete\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+
+  const std::string out_path = flags.get("out");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "dls_sweep: cannot write " << out_path << "\n";
+      return kExitRunError;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+  for (const std::string& line : merged) out << line << '\n';
+  out.flush();
+  if (!out) {
+    std::cerr << "dls_sweep: writing the merged output failed\n";
+    return kExitRunError;
+  }
+  std::cerr << "dls_sweep: merged " << merged.size() << " record(s) from " << shards.size()
+            << " shard(s)\n";
+  return EXIT_SUCCESS;
+}
+
+int bench_mode(const support::Flags& flags) {
+  const std::vector<std::string>& positional = flags.positional();
+  if (positional.size() != 2) {
+    std::cerr << "dls_sweep: bench needs exactly one spec file\n";
+    return kExitUsageError;
+  }
+  const std::string name = flags.get("name");
+  const std::string group_key = flags.get("group");
+  const std::string json_path = flags.get("json");
+  if (name.empty() || group_key.empty() || json_path.empty()) {
+    std::cerr << "dls_sweep: bench needs --name, --group and --json\n";
+    return kExitUsageError;
+  }
+
+  sweep::Grid grid;
+  const sweep::Axis* group_axis = nullptr;
+  try {
+    grid = sweep::parse_grid(read_input(positional[1]));
+    for (const sweep::Axis& axis : grid.axes) {
+      if (axis.key == group_key) group_axis = &axis;
+    }
+    if (group_axis == nullptr) {
+      throw std::invalid_argument("--group axis '" + group_key + "' is not swept in the spec");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+
+  const std::int64_t repeats_raw = flags.get_int("repeats");
+  if (repeats_raw < 1 || repeats_raw > 1000) {
+    std::cerr << "dls_sweep: --repeats must be in [1, 1000], got " << repeats_raw << "\n";
+    return kExitUsageError;
+  }
+  const auto repeats = static_cast<std::size_t>(repeats_raw);
+
+  std::vector<support::BenchJsonEntry> entries;
+  try {
+    // Serial entries (threads = 1, the serve-path number tracked in
+    // BENCH_e2e_sweep.json) first, then the parallel ones -- the same
+    // order google-benchmark produced for the committed artifact.
+    const std::pair<const char*, unsigned> modes[] = {{"", 1u}, {"Parallel", 0u}};
+    for (const auto& [suffix, threads] : modes) {
+      for (const std::string& group_value : group_axis->values) {
+        std::vector<mw::BatchJob> jobs;
+        std::size_t runs = 0;
+        for (std::size_t i = 0; i < grid.cells(); ++i) {
+          const sweep::Cell c = sweep::cell(grid, i);
+          bool in_group = false;
+          for (const auto& [key, value] : c.assignment) {
+            in_group |= (key == group_key && value == group_value);
+          }
+          if (!in_group) continue;
+          jobs.push_back(sweep::batch_job(grid, c));
+          runs += jobs.back().replicas;
+        }
+        mw::BatchRunner::Options options;
+        options.threads = threads;
+        const mw::BatchRunner runner(options);
+        double best_seconds = 0.0;
+        for (std::size_t r = 0; r < repeats; ++r) {
+          const auto start = std::chrono::steady_clock::now();
+          const auto results = runner.run(jobs);
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - start;
+          if (results.empty()) throw std::invalid_argument("empty benchmark group");
+          if (r == 0 || elapsed.count() < best_seconds) best_seconds = elapsed.count();
+        }
+        support::BenchJsonEntry entry;
+        entry.name = name + suffix + "/" + group_value;
+        entry.real_time_ms = best_seconds * 1e3;
+        entry.items_per_second = static_cast<double>(runs) / best_seconds;
+        entries.push_back(entry);
+        std::cerr << "dls_sweep: " << entry.name << " " << entry.real_time_ms << " ms ("
+                  << jobs.size() << " cells, " << runs << " runs)\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitRunError;
+  }
+
+  std::ofstream out(json_path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "dls_sweep: cannot write " << json_path << "\n";
+    return kExitRunError;
+  }
+  support::write_bench_json(out, entries);
+  std::cerr << "dls_sweep: wrote " << entries.size() << " entries to " << json_path << "\n";
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("out", "", "output file (JSONL for run/merge; empty = stdout)");
+  flags.define("resume", "false", "skip cells already present in --out");
+  flags.define("overwrite", "false", "discard an existing --out instead of refusing");
+  flags.define("shard", "0/1", "own the cells with index mod count == index (e.g. 1/4)");
+  flags.define("threads", "0", "worker threads per cell (0 = spec / hardware)");
+  flags.define("max-cells", "0", "stop after computing N new cells (0 = no limit)");
+  flags.define("list", "false", "print the expanded cells and exit");
+  flags.define("quiet", "false", "suppress per-cell progress on stderr");
+  flags.define("name", "", "[bench] benchmark name prefix, e.g. BM_E2ESweep");
+  flags.define("group", "", "[bench] sweep axis to group timing entries by");
+  flags.define("json", "", "[bench] output path for the dls-bench-v1 JSON");
+  flags.define("repeats", "1", "[bench] timing repetitions; the minimum is kept");
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(std::cout, flags);
+      return EXIT_SUCCESS;
+    }
+  }
+  try {
+    flags.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+  if (flags.positional().empty()) {
+    print_usage(std::cerr, flags);
+    return kExitUsageError;
+  }
+  if (flags.positional()[0] == "merge") return merge_mode(flags);
+  if (flags.positional()[0] == "bench") return bench_mode(flags);
+  if (flags.positional().size() != 1) {
+    std::cerr << "dls_sweep: expected exactly one spec file\n";
+    return kExitUsageError;
+  }
+  return run_mode(flags);
+}
