@@ -1,4 +1,4 @@
-// End-to-end sweep benchmark: mw::BatchRunner over the Table-2-style
+// End-to-end sweep benchmark: exec::BatchRunner over the Table-2-style
 // grid (technique x workers x tasks) declared in
 // bench/specs/e2e_sweep.sweep -- the same sweep spec dls_sweep runs,
 // so the timed grid and the grid service cannot drift apart.
@@ -49,9 +49,9 @@ const sweep::Grid& e2e_grid() {
 
 /// The jobs of the spec's cells with the given task count (one
 /// google-benchmark Arg per `tasks` axis value).
-std::vector<mw::BatchJob> sweep_jobs(std::size_t tasks) {
+std::vector<exec::BatchJob> sweep_jobs(std::size_t tasks) {
   const sweep::Grid& grid = e2e_grid();
-  std::vector<mw::BatchJob> jobs;
+  std::vector<exec::BatchJob> jobs;
   for (std::size_t i = 0; i < grid.cells(); ++i) {
     const sweep::Cell c = sweep::cell(grid, i);
     if (c.spec.config.tasks != tasks) continue;
@@ -66,18 +66,18 @@ std::vector<mw::BatchJob> sweep_jobs(std::size_t tasks) {
 
 void run_sweep(benchmark::State& state, unsigned threads) {
   const std::size_t tasks = static_cast<std::size_t>(state.range(0));
-  const std::vector<mw::BatchJob> jobs = sweep_jobs(tasks);
+  const std::vector<exec::BatchJob> jobs = sweep_jobs(tasks);
   std::size_t runs_per_sweep = 0;
-  for (const mw::BatchJob& job : jobs) runs_per_sweep += job.replicas;
+  for (const exec::BatchJob& job : jobs) runs_per_sweep += job.replicas;
 
-  mw::BatchRunner::Options options;
+  exec::BatchRunner::Options options;
   options.threads = threads;
-  const mw::BatchRunner runner(options);
+  const exec::BatchRunner runner(options);
 
   double checksum = 0.0;
   for (auto _ : state) {
-    const std::vector<mw::BatchResult> results = runner.run(jobs);
-    for (const mw::BatchResult& r : results) checksum += r.makespan.mean;
+    const std::vector<exec::BatchResult> results = runner.run(jobs);
+    for (const exec::BatchResult& r : results) checksum += r.makespan.mean;
     benchmark::DoNotOptimize(checksum);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * runs_per_sweep));

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   flags.define("sweep-spec", "false",
                "print one series' simulation side as a dls_sweep spec and exit");
   flags.define("series", "", "series label for --sweep-spec (default: the first, SS)");
+  flags.define("backend", "mw",
+               "execution backend of the simulation side (mw | hagerup | runtime)");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -27,6 +29,7 @@ int main(int argc, char** argv) {
   for (std::int64_t p : flags.get_int_list("pes")) {
     options.pes.push_back(static_cast<std::size_t>(p));
   }
+  options.sim_backend = flags.get("backend");
 
   if (flags.get_bool("sweep-spec")) {
     // One grid per series: a series couples technique and css/gss
@@ -48,7 +51,14 @@ int main(int argc, char** argv) {
             << "workload: " << options.tasks << " tasks, constant "
             << support::fmt(options.task_seconds * 1e3, 0) << " ms each\n\n";
 
-  const auto points = repro::run_tss_experiment(options);
+  std::vector<repro::TssPoint> points;
+  try {
+    points = repro::run_tss_experiment(options);
+  } catch (const std::exception& e) {
+    // E.g. a backend that cannot express the simulated-overhead mode.
+    std::cerr << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
   const support::Table table = repro::tss_speedup_table(points, options);
   std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_ascii());
 

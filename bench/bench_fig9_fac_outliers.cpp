@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   flags.define("series", "false", "also print the full per-run series");
   flags.define("sweep-spec", "false",
                "print the FAC/p=2 cell as a dls_sweep spec and exit");
+  flags.define("backend", "mw",
+               "execution backend of the simulated runs (mw | hagerup | runtime)");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
   options.tasks = 524288;
   options.runs = static_cast<std::size_t>(flags.get_int("runs"));
   options.threads = static_cast<unsigned>(flags.get_int("threads"));
+  options.sim_backend = flags.get("backend");
   const double cutoff = flags.get_double("cutoff");
 
   if (flags.get_bool("sweep-spec")) {

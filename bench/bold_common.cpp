@@ -20,6 +20,8 @@ int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
   flags.define("pes", "2,8,64,256,1024", "PE counts to sweep");
   flags.define("sweep-spec", "false",
                "print the simulation-side grid as a dls_sweep spec and exit");
+  flags.define("backend", "mw",
+               "execution backend of the simulation side (mw | hagerup | runtime)");
   try {
     flags.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -36,6 +38,7 @@ int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
   for (std::int64_t p : flags.get_int_list("pes")) {
     options.pes.push_back(static_cast<std::size_t>(p));
   }
+  options.sim_backend = flags.get("backend");
   const bool csv = flags.get_bool("csv");
 
   if (flags.get_bool("sweep-spec")) {
@@ -51,11 +54,21 @@ int run_bold_bench(const BoldBenchSpec& spec, int argc, char** argv) {
             << "exponential task times mu = " << options.mu << " s, sigma = " << options.sigma
             << " s, h = " << options.h << " s\n"
             << "sides: original = replicated Hagerup direct simulator (erand48); "
-               "simulation = simx master-worker (null network, analytic overhead)\n\n";
+               "simulation = " << options.sim_backend
+            << (options.sim_backend == "mw" ? " (simx master-worker, null network, analytic overhead)"
+                                            : " (exec backend)")
+            << "\n\n";
   std::cout << "Paper Table III (overview of reproducibility experiments):\n";
   std::cout << repro::bold_grid_table().to_ascii() << "\n";
 
-  const std::vector<repro::BoldCell> cells = repro::run_bold_experiment(options);
+  std::vector<repro::BoldCell> cells;
+  try {
+    cells = repro::run_bold_experiment(options);
+  } catch (const std::exception& e) {
+    // E.g. an unknown --backend name.
+    std::cerr << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
 
   auto emit = [&](const char* title, const support::Table& table) {
     std::cout << title << "\n" << (csv ? table.to_csv() : table.to_ascii()) << "\n";

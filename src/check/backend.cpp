@@ -1,115 +1,20 @@
 #include "check/backend.hpp"
 
-#include <algorithm>
-
-#include "mw/simulation.hpp"
-
 namespace check {
 
-BackendRun from_mw(const mw::Config& config, mw::RunResult result) {
-  BackendRun run;
-  run.backend = "mw";
-  run.tasks = config.tasks;
-  run.timesteps = config.timesteps;
-  run.workers = config.workers;
-  run.makespan = result.makespan;
-  run.total_nominal_work = result.total_nominal_work;
-  run.chunk_count = result.chunk_count;
-  run.tasks_reclaimed = result.tasks_reclaimed;
-  run.metrics = mw::compute_metrics(result, config);
-  run.worker_stats = std::move(result.workers);
-  run.chunk_log = std::move(result.chunk_log);
-  run.range_log = std::move(result.range_log);
-  return run;
-}
-
-BackendRun from_hagerup(const hagerup::Config& config, const hagerup::RunResult& result) {
-  BackendRun run;
-  run.backend = "hagerup";
-  run.tasks = config.tasks;
-  run.timesteps = 1;
-  run.workers = config.pes;
-  run.makespan = result.makespan;
-  run.total_nominal_work = result.total_work;
-  run.chunk_count = result.chunk_count;
-  run.worker_stats.resize(config.pes);
-  for (std::size_t w = 0; w < config.pes; ++w) {
-    run.worker_stats[w].compute_time = result.compute_time[w];
-    run.worker_stats[w].chunks = result.chunks[w];
-  }
-  run.chunk_log.reserve(result.chunk_log.size());
-  run.range_log.reserve(result.chunk_log.size());
-  for (const hagerup::ChunkLogEntry& entry : result.chunk_log) {
-    run.range_log.push_back(
-        mw::ServedRangeEntry{run.chunk_log.size(), entry.first, entry.size});
-    run.chunk_log.push_back(mw::ChunkLogEntry{entry.pe, entry.first, entry.size,
-                                              entry.issued_at, entry.work_seconds});
-    run.worker_stats[entry.pe].tasks += entry.size;
-  }
-  return run;
-}
-
-BackendRun from_runtime(std::size_t n, unsigned threads, const runtime::LoopStats& stats) {
-  BackendRun run;
-  run.backend = "runtime";
-  run.tasks = n;
-  run.timesteps = 1;
-  run.workers = threads;
-  run.makespan = stats.wall_seconds;
-  run.chunk_count = stats.chunks;
-  run.virtual_time = false;
-  run.worker_stats.resize(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    run.worker_stats[t].compute_time = stats.busy_seconds_per_thread[t];
-    run.worker_stats[t].tasks = stats.tasks_per_thread[t];
-    run.worker_stats[t].chunks = stats.chunks_per_thread[t];
-  }
-  run.chunk_log.reserve(stats.chunk_log.size());
-  run.range_log.reserve(stats.chunk_log.size());
-  for (const runtime::LoopChunk& chunk : stats.chunk_log) {
-    run.range_log.push_back(mw::ServedRangeEntry{run.chunk_log.size(), chunk.first, chunk.size});
-    run.chunk_log.push_back(mw::ChunkLogEntry{chunk.thread, chunk.first, chunk.size, 0.0, 0.0});
-  }
-  return run;
-}
-
 BackendRun run_mw(const Scenario& scenario) {
-  mw::Config config = scenario.config;
-  config.record_chunk_log = true;
-  return from_mw(config, mw::run_simulation(config));
+  return exec::make_backend("mw")->run(scenario.config);
 }
 
 BackendRun run_hagerup(const Scenario& scenario) {
-  const mw::Config& mc = scenario.config;
-  hagerup::Config config;
-  config.technique = mc.technique;
-  config.params = mc.params;
-  config.pes = mc.workers;
-  config.tasks = mc.tasks;
-  config.workload = mc.workload;
-  config.seed = mc.seed;
-  config.use_rand48 = mc.use_rand48;
-  config.charge_overhead_inline = false;  // match mw's analytic accounting
-  config.record_chunk_log = true;
-  return from_hagerup(config, hagerup::run(config));
+  return exec::make_backend("hagerup")->run(scenario.config);
 }
 
 BackendRun run_runtime(const Scenario& scenario, std::size_t n_cap) {
-  const std::size_t n = std::min(scenario.config.tasks, std::max<std::size_t>(n_cap, 1));
-  runtime::DlsLoopExecutor::Options options;
-  options.technique = scenario.config.technique;
-  options.params = scenario.config.params;
-  options.threads =
-      static_cast<unsigned>(std::min<std::size_t>(scenario.config.workers, 8));
-  // Per-PE weights are sized for the scenario's workers; the native
-  // executor runs with its own thread count.
-  if (!options.params.weights.empty()) {
-    options.params.weights.resize(options.threads, 1.0);
-  }
-  options.record_chunk_log = true;
-  runtime::DlsLoopExecutor executor(options);
-  const runtime::LoopStats stats = executor.run(n, [](std::size_t, std::size_t) {});
-  return from_runtime(n, executor.threads(), stats);
+  exec::BackendOptions options;
+  options.runtime_task_cap = n_cap;
+  options.runtime_max_threads = 8;
+  return exec::make_backend("runtime", options)->run(scenario.config);
 }
 
 }  // namespace check

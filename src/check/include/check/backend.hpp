@@ -1,59 +1,34 @@
 #pragma once
 
-#include <optional>
-#include <string>
-#include <vector>
+#include <cstddef>
 
 #include "check/scenario.hpp"
-#include "hagerup/simulator.hpp"
-#include "mw/metrics.hpp"
-#include "mw/result.hpp"
-#include "runtime/dls_loop.hpp"
+#include "exec/backend.hpp"
 
 namespace check {
 
-/// Uniform view of one run of any execution vehicle -- the shared
-/// currency of the invariant catalog.  Chunk/range logs reuse the mw
-/// log types; backends without fragmentation (hagerup, runtime) emit
-/// one range per chunk.
-struct BackendRun {
-  std::string backend;  ///< "mw" | "hagerup" | "runtime"
-  std::size_t tasks = 0;
-  std::size_t timesteps = 1;
-  std::size_t workers = 0;
-  double makespan = 0.0;
-  double total_nominal_work = 0.0;
-  std::size_t chunk_count = 0;
-  std::size_t tasks_reclaimed = 0;
-  std::vector<mw::WorkerStats> worker_stats;
-  std::vector<mw::ChunkLogEntry> chunk_log;
-  std::vector<mw::ServedRangeEntry> range_log;
-  /// Paper metrics, for backends that define them (mw only).
-  std::optional<mw::Metrics> metrics;
-  /// Virtual-time semantics: chunk issue times and compute times are
-  /// exact simulated values (false for the native runtime, whose
-  /// wall-clock numbers only support structural invariants).
-  bool virtual_time = true;
-};
+/// The uniform run record and the per-backend adapters live in the
+/// execution layer (exec/backend.hpp) since they became first-class
+/// citizens of the experiment grids; check consumes them as the
+/// currency of its invariant catalog.
+using BackendRun = exec::BackendRun;
+using exec::from_hagerup;
+using exec::from_mw;
+using exec::from_runtime;
 
-/// Adapters from the native result types.
-[[nodiscard]] BackendRun from_mw(const mw::Config& config, mw::RunResult result);
-[[nodiscard]] BackendRun from_hagerup(const hagerup::Config& config,
-                                      const hagerup::RunResult& result);
-[[nodiscard]] BackendRun from_runtime(std::size_t n, unsigned threads,
-                                      const runtime::LoopStats& stats);
+/// Scenario-level conveniences over exec::make_backend():
 
 /// Run the scenario through the mw message-passing simulator.
 [[nodiscard]] BackendRun run_mw(const Scenario& scenario);
 
 /// Run the scenario through the hagerup direct simulator (the caller
-/// checks Scenario::hagerup_comparable()).  Overhead is accounted
-/// analytically (charge_overhead_inline = false) to match mw's
-/// OverheadMode::kAnalytic.
+/// checks Scenario::hagerup_comparable(); the backend itself rejects
+/// configs it cannot express).  Overhead is accounted analytically to
+/// match mw's OverheadMode::kAnalytic.
 [[nodiscard]] BackendRun run_hagerup(const Scenario& scenario);
 
-/// Execute the scenario's technique natively through
-/// runtime::DlsLoopExecutor with a trivial body: real threads, so only
+/// Execute the scenario's technique natively through the runtime
+/// backend: real threads (capped at 8 for fuzz runs), so only
 /// structural invariants (coverage, conservation) apply.  `n_cap`
 /// bounds the iteration count to keep fuzz runs fast.
 [[nodiscard]] BackendRun run_runtime(const Scenario& scenario, std::size_t n_cap = 2048);

@@ -74,7 +74,7 @@ struct Failure {
 [[nodiscard]] std::optional<std::string> check_mw_determinism(const Scenario& scenario,
                                                               const BackendRun& mw_run);
 
-/// "batch_determinism": mw::BatchRunner summaries over `replicas` are
+/// "batch_determinism": exec::BatchRunner mw summaries over `replicas` are
 /// bitwise identical with 1 and with several worker threads.  Runs
 /// 2 * replicas simulations.
 [[nodiscard]] std::optional<std::string> check_batch_determinism(const Scenario& scenario,

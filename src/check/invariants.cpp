@@ -4,7 +4,7 @@
 #include <cmath>
 #include <memory>
 
-#include "mw/batch.hpp"
+#include "exec/batch.hpp"
 #include "mw/simulation.hpp"
 #include "support/table.hpp"
 #include "workload/random_source.hpp"
@@ -361,19 +361,19 @@ std::optional<std::string> check_mw_determinism(const Scenario& scenario,
 
 std::optional<std::string> check_batch_determinism(const Scenario& scenario,
                                                    std::size_t replicas) {
-  mw::BatchJob job;
+  exec::BatchJob job;
   job.config = scenario.config;
   job.config.record_chunk_log = false;
   job.replicas = replicas;
 
   auto run_with = [&](unsigned threads) {
-    mw::BatchRunner::Options options;
+    exec::BatchRunner::Options options;
     options.threads = threads;
     options.keep_values = true;
-    return mw::BatchRunner(options).run_one(job);
+    return exec::BatchRunner(options).run_one(job);
   };
-  const mw::BatchResult serial = run_with(1);
-  const mw::BatchResult threaded = run_with(3);
+  const exec::BatchResult serial = run_with(1);
+  const exec::BatchResult threaded = run_with(3);
 
   auto summaries_differ = [](const stats::Summary& a, const stats::Summary& b) {
     return a.count != b.count || a.mean != b.mean || a.stddev != b.stddev || a.min != b.min ||

@@ -1,0 +1,155 @@
+#include "exec/batch.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "support/parallel_for.hpp"
+
+namespace exec {
+namespace {
+
+/// LIFO pools of Backend instances keyed by backend name, shared by the
+/// batch's worker threads.  A thread working through consecutive
+/// replicas of a job gets the same instance back each time (engine and
+/// buffer reuse); the pool -- and all cached engines -- is released
+/// when the batch ends, instead of pinning the memory to thread
+/// lifetimes.  The lock is per replica, negligible against a run.
+class BackendPool {
+ public:
+  explicit BackendPool(const BackendOptions& options) : options_(options) {}
+
+  [[nodiscard]] std::unique_ptr<Backend> acquire(const std::string& name) {
+    {
+      const std::scoped_lock lock(mutex_);
+      std::vector<std::unique_ptr<Backend>>& free = free_[name];
+      if (!free.empty()) {
+        std::unique_ptr<Backend> backend = std::move(free.back());
+        free.pop_back();
+        return backend;
+      }
+    }
+    return make_backend(name, options_);
+  }
+
+  void release(std::unique_ptr<Backend> backend) {
+    const std::scoped_lock lock(mutex_);
+    free_[std::string(backend->name())].push_back(std::move(backend));
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::string, std::vector<std::unique_ptr<Backend>>> free_;
+  BackendOptions options_;
+};
+
+}  // namespace
+
+std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const {
+  // Flatten (job, replica) into one index space so threads stay busy
+  // across job boundaries (a grid's last job must not serialize).
+  // Wall-clock backends (runtime) are excluded from the parallel pool:
+  // their replicas spawn their own worker threads and measure real
+  // time, so co-running replicas would measure contention instead of
+  // run-to-run noise; they execute one at a time afterwards.
+  std::vector<std::size_t> offsets(jobs.size() + 1, 0);
+  std::vector<bool> wall_clock(jobs.size(), false);
+  std::map<std::string, bool> is_wall_clock;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (jobs[j].replicas == 0) {
+      // Reject rather than return an all-zero Summary that renders as
+      // a legitimate-looking makespan of 0.
+      throw std::invalid_argument("BatchJob.replicas must be >= 1 (job " + std::to_string(j) +
+                                  ")");
+    }
+    if (!is_backend_name(jobs[j].backend)) {
+      throw std::invalid_argument("BatchJob.backend '" + jobs[j].backend +
+                                  "' is not a known backend (job " + std::to_string(j) + ")");
+    }
+    const auto it = is_wall_clock.find(jobs[j].backend);
+    if (it != is_wall_clock.end()) {
+      wall_clock[j] = it->second;
+    } else {
+      wall_clock[j] = !make_backend(jobs[j].backend, options_.backend)->virtual_time();
+      is_wall_clock.emplace(jobs[j].backend, wall_clock[j]);
+    }
+    offsets[j + 1] = offsets[j] + jobs[j].replicas;
+  }
+  const std::size_t total = offsets.back();
+
+  struct PerReplica {
+    std::vector<double> makespan;
+    std::vector<double> wasted;
+    std::vector<double> speedup;
+    std::vector<double> chunks;
+  };
+  std::vector<PerReplica> values(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    values[j].makespan.resize(jobs[j].replicas);
+    values[j].wasted.resize(jobs[j].replicas);
+    values[j].speedup.resize(jobs[j].replicas);
+    values[j].chunks.resize(jobs[j].replicas);
+  }
+
+  BackendPool backends(options_.backend);
+  auto run_replica = [&](std::size_t job_index, std::size_t replica) {
+    const BatchJob& job = jobs[job_index];
+    mw::Config cfg = job.config;
+    cfg.seed = job.config.seed + job.seed_stride * replica;
+    std::unique_ptr<Backend> backend = backends.acquire(job.backend);
+    const Measured measured = backend->measure(cfg);
+    // A throwing run already invalidated the backend's cached
+    // engine, so returning it to the pool is always safe; if the
+    // exception propagates the instance is simply dropped.
+    backends.release(std::move(backend));
+
+    PerReplica& out = values[job_index];
+    out.makespan[replica] = measured.makespan;
+    out.wasted[replica] = measured.avg_wasted_time;
+    out.speedup[replica] = measured.speedup;
+    out.chunks[replica] = measured.chunks;
+  };
+
+  support::parallel_for(
+      total,
+      [&](std::size_t flat) {
+        const std::size_t job_index = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), flat) - offsets.begin() - 1);
+        if (wall_clock[job_index]) return;  // serialized below
+        run_replica(job_index, flat - offsets[job_index]);
+      },
+      options_.threads, options_.grain);
+
+  // Wall-clock replicas, one at a time: each spawns its own worker
+  // threads, and its timings are the measurement.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!wall_clock[j]) continue;
+    for (std::size_t replica = 0; replica < jobs[j].replicas; ++replica) {
+      run_replica(j, replica);
+    }
+  }
+
+  std::vector<BatchResult> results(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    BatchResult& r = results[j];
+    r.makespan = stats::summarize(values[j].makespan);
+    r.avg_wasted_time = stats::summarize(values[j].wasted);
+    r.speedup = stats::summarize(values[j].speedup);
+    r.chunks = stats::summarize(values[j].chunks);
+    if (options_.keep_values) {
+      r.makespan_values = std::move(values[j].makespan);
+      r.wasted_values = std::move(values[j].wasted);
+    }
+  }
+  return results;
+}
+
+BatchResult BatchRunner::run_one(const BatchJob& job) const {
+  return run(std::span<const BatchJob>(&job, 1)).front();
+}
+
+}  // namespace exec

@@ -67,7 +67,21 @@ struct RunResult {
   std::vector<ChunkLogEntry> chunk_log;  ///< filled if Config::record_chunk_log
 };
 
+/// Reusable scratch buffers for run(): the task-time buffer (the
+/// dominant allocation of a replica at large n) is filled in place via
+/// workload generate_into instead of reallocated per run.  Not
+/// thread-safe; use one context per thread (exec::BatchRunner keeps one
+/// inside each pooled hagerup backend).
+struct RunContext {
+  std::vector<double> task_times;
+};
+
 /// Run one simulation.  Deterministic in Config (including seed).
 [[nodiscard]] RunResult run(const Config& config);
+
+/// Same, reusing `context`'s buffers across calls -- the fast path for
+/// replicated runs (see exec::Backend).  Bit-identical to the
+/// context-free overload.
+[[nodiscard]] RunResult run(const Config& config, RunContext& context);
 
 }  // namespace hagerup

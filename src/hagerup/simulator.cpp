@@ -26,6 +26,11 @@ struct Later {
 }  // namespace
 
 RunResult run(const Config& config) {
+  RunContext context;
+  return run(config, context);
+}
+
+RunResult run(const Config& config, RunContext& context) {
   if (config.pes == 0) throw std::invalid_argument("Config.pes must be >= 1");
   if (config.tasks == 0) throw std::invalid_argument("Config.tasks must be >= 1");
   if (!config.workload) throw std::invalid_argument("Config.workload is not set");
@@ -41,7 +46,8 @@ RunResult run(const Config& config) {
                                   static_cast<std::uint32_t>(config.seed)))
                         : std::unique_ptr<workload::RandomSource>(
                               std::make_unique<workload::XoshiroSource>(config.seed));
-  const std::vector<double> task_times = config.workload->generate(config.tasks, *rng);
+  config.workload->generate_into(context.task_times, config.tasks, *rng);
+  const std::vector<double>& task_times = context.task_times;
 
   RunResult result;
   result.compute_time.assign(config.pes, 0.0);

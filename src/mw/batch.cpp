@@ -1,49 +1,6 @@
 #include "mw/batch.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-
-#include "mw/metrics.hpp"
-#include "mw/simulation.hpp"
-#include "support/parallel_for.hpp"
-
 namespace mw {
-namespace {
-
-/// LIFO pool of RunContexts shared by the batch's worker threads.  A
-/// thread working through consecutive replicas gets the same context
-/// back each time (engine/buffer reuse); the pool -- and all cached
-/// engines -- is released when the batch ends, instead of pinning the
-/// memory to thread lifetimes.  The lock is per replica, negligible
-/// against a simulation run.
-class ContextPool {
- public:
-  [[nodiscard]] std::unique_ptr<RunContext> acquire() {
-    {
-      const std::scoped_lock lock(mutex_);
-      if (!free_.empty()) {
-        std::unique_ptr<RunContext> context = std::move(free_.back());
-        free_.pop_back();
-        return context;
-      }
-    }
-    return std::make_unique<RunContext>();
-  }
-
-  void release(std::unique_ptr<RunContext> context) {
-    const std::scoped_lock lock(mutex_);
-    free_.push_back(std::move(context));
-  }
-
- private:
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<RunContext>> free_;
-};
-
-}  // namespace
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -57,81 +14,6 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index
   // cell_index for a fixed base seed, so cells never collide.
   constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
   return splitmix64(base_seed + (cell_index + 1) * kGolden);
-}
-
-std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const {
-  // Flatten (job, replica) into one index space so threads stay busy
-  // across job boundaries (a grid's last job must not serialize).
-  std::vector<std::size_t> offsets(jobs.size() + 1, 0);
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (jobs[j].replicas == 0) {
-      // Reject rather than return an all-zero Summary that renders as
-      // a legitimate-looking makespan of 0.
-      throw std::invalid_argument("BatchJob.replicas must be >= 1 (job " + std::to_string(j) +
-                                  ")");
-    }
-    offsets[j + 1] = offsets[j] + jobs[j].replicas;
-  }
-  const std::size_t total = offsets.back();
-
-  struct PerReplica {
-    std::vector<double> makespan;
-    std::vector<double> wasted;
-    std::vector<double> speedup;
-    std::vector<double> chunks;
-  };
-  std::vector<PerReplica> values(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    values[j].makespan.resize(jobs[j].replicas);
-    values[j].wasted.resize(jobs[j].replicas);
-    values[j].speedup.resize(jobs[j].replicas);
-    values[j].chunks.resize(jobs[j].replicas);
-  }
-
-  ContextPool contexts;
-  support::parallel_for(
-      total,
-      [&](std::size_t flat) {
-        const std::size_t job_index = static_cast<std::size_t>(
-            std::upper_bound(offsets.begin(), offsets.end(), flat) - offsets.begin() - 1);
-        const BatchJob& job = jobs[job_index];
-        const std::size_t replica = flat - offsets[job_index];
-
-        Config cfg = job.config;
-        cfg.seed = job.config.seed + job.seed_stride * replica;
-        std::unique_ptr<RunContext> context = contexts.acquire();
-        const RunResult result = run_simulation(cfg, *context);
-        // A throwing run already invalidated the context's cached
-        // engine, so returning it to the pool is always safe; if the
-        // exception propagates the context is simply dropped.
-        contexts.release(std::move(context));
-        const Metrics metrics = compute_metrics(result, cfg);
-
-        PerReplica& out = values[job_index];
-        out.makespan[replica] = metrics.makespan;
-        out.wasted[replica] = metrics.avg_wasted_time;
-        out.speedup[replica] = metrics.speedup;
-        out.chunks[replica] = static_cast<double>(metrics.chunks);
-      },
-      options_.threads, options_.grain);
-
-  std::vector<BatchResult> results(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    BatchResult& r = results[j];
-    r.makespan = stats::summarize(values[j].makespan);
-    r.avg_wasted_time = stats::summarize(values[j].wasted);
-    r.speedup = stats::summarize(values[j].speedup);
-    r.chunks = stats::summarize(values[j].chunks);
-    if (options_.keep_values) {
-      r.makespan_values = std::move(values[j].makespan);
-      r.wasted_values = std::move(values[j].wasted);
-    }
-  }
-  return results;
-}
-
-BatchResult BatchRunner::run_one(const BatchJob& job) const {
-  return run(std::span<const BatchJob>(&job, 1)).front();
 }
 
 }  // namespace mw

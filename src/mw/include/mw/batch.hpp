@@ -1,24 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
-#include <vector>
-
-#include "mw/config.hpp"
-#include "stats/summary.hpp"
 
 namespace mw {
 
-/// One configuration of a batch: `replicas` independent simulation runs
-/// of `config`, where replica r runs with seed
-/// `config.seed + seed_stride * r`.  This is the repetition dimension
-/// of every reproduced experiment (e.g. 1000 runs per cell in the BOLD
-/// study, paper Section III-B).
-struct BatchJob {
-  Config config;
-  std::size_t replicas = 1;
-  std::uint64_t seed_stride = 1;
-};
+// The batched experiment runner itself lives in the execution layer
+// (exec/batch.hpp: exec::BatchJob/BatchRunner run any exec::Backend).
+// This header keeps the seed-derivation utilities the grid layers and
+// published sweep records are pinned to.
 
 /// The splitmix64 output function (Steele/Lea/Flood mix of a
 /// golden-ratio-incremented counter).  A bijective avalanche mix: every
@@ -34,53 +23,8 @@ struct BatchJob {
 /// and the default seed_stride of 1, every cell would replay the exact
 /// same replica seed sequence, silently correlating all cells of the
 /// grid (their "independent" noise would be identical draws).  Single
-/// jobs run directly through BatchRunner are unaffected -- replica
-/// seeding stays `config.seed + seed_stride * r`.
+/// jobs run directly through exec::BatchRunner are unaffected --
+/// replica seeding stays `config.seed + seed_stride * r`.
 [[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed, std::uint64_t cell_index);
-
-/// Aggregated outcome of one BatchJob: summary statistics of the
-/// paper's measured values over the job's replicas.
-struct BatchResult {
-  stats::Summary makespan;
-  stats::Summary avg_wasted_time;
-  stats::Summary speedup;
-  stats::Summary chunks;
-  /// Per-replica series, retained only with Options::keep_values (the
-  /// raw material of distribution plots like paper Figure 9).
-  std::vector<double> makespan_values;
-  std::vector<double> wasted_values;
-};
-
-/// Batched experiment runner -- the single entry point the repro
-/// experiments, tools and benches route "run this grid of
-/// configurations N times each" through.
-///
-/// The replicas of all jobs are flattened into one index space and
-/// claimed from a thread pool via support::parallel_for; every thread
-/// keeps one mw::RunContext, so consecutive runs on a thread reuse the
-/// simulation engine and serve-loop buffers instead of reallocating
-/// them.  Results are deterministic: each replica is seeded purely by
-/// (job, replica index), independent of thread scheduling.
-class BatchRunner {
- public:
-  struct Options {
-    unsigned threads = 0;      ///< 0 = support::default_thread_count()
-    std::size_t grain = 1;     ///< replicas claimed per atomic grab
-    bool keep_values = false;  ///< retain per-replica series in the results
-  };
-
-  BatchRunner() = default;
-  explicit BatchRunner(Options options) : options_(options) {}
-
-  [[nodiscard]] const Options& options() const { return options_; }
-
-  /// Run all jobs; result i aggregates jobs[i].
-  [[nodiscard]] std::vector<BatchResult> run(std::span<const BatchJob> jobs) const;
-  /// Convenience for a single job.
-  [[nodiscard]] BatchResult run_one(const BatchJob& job) const;
-
- private:
-  Options options_;
-};
 
 }  // namespace mw

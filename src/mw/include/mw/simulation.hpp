@@ -16,8 +16,8 @@ namespace mw {
 /// are reused instead of rebuilt, and after the first run the serve
 /// loop reaches a steady state with no heap allocation per chunk.
 ///
-/// Not thread-safe: use one RunContext per thread (mw::BatchRunner
-/// keeps one per worker thread).
+/// Not thread-safe: use one RunContext per thread (the exec layer's
+/// mw backend holds one per pooled instance).
 class RunContext {
  public:
   RunContext();
@@ -49,7 +49,7 @@ class RunContext {
 [[nodiscard]] RunResult run_simulation(const Config& config);
 
 /// Same, but reusing `context`'s engine and buffers across calls --
-/// the fast path for parameter sweeps (see mw::BatchRunner).
+/// the fast path for parameter sweeps (see exec::BatchRunner).
 RunResult run_simulation(const Config& config, RunContext& context);
 
 }  // namespace mw

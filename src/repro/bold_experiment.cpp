@@ -2,8 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/batch.hpp"
 #include "hagerup/simulator.hpp"
-#include "mw/batch.hpp"
 #include "support/parallel_for.hpp"
 #include "workload/task_times.hpp"
 
@@ -47,8 +47,8 @@ double hagerup_run(const BoldOptions& options, dls::Kind technique, std::size_t 
   return hagerup::run(cfg).avg_wasted_time;
 }
 
-mw::BatchJob make_sim_job(const BoldOptions& options, dls::Kind technique, std::size_t pes) {
-  mw::BatchJob job;
+exec::BatchJob make_sim_job(const BoldOptions& options, dls::Kind technique, std::size_t pes) {
+  exec::BatchJob job;
   mw::Config& cfg = job.config;
   cfg.technique = technique;
   cfg.workers = pes;
@@ -63,6 +63,7 @@ mw::BatchJob make_sim_job(const BoldOptions& options, dls::Kind technique, std::
   cfg.seed = options.seed_simgrid;
   job.replicas = options.runs;
   job.seed_stride = kSimSeedStride;
+  job.backend = options.sim_backend;
   return job;
 }
 
@@ -91,14 +92,16 @@ std::vector<BoldCell> run_bold_experiment(const BoldOptions& options) {
   // The simx side routes through the batched runner: all cells of the
   // grid become one flattened job list, so threads stay busy across
   // cell boundaries and per-thread engines are reused.
-  std::vector<mw::BatchJob> jobs;
+  std::vector<exec::BatchJob> jobs;
   for (const dls::Kind technique : options.techniques) {
     for (const std::size_t pes : options.pes) {
       jobs.push_back(make_sim_job(options, technique, pes));
     }
   }
-  const mw::BatchRunner runner(mw::BatchRunner::Options{options.threads, 1, false});
-  const std::vector<mw::BatchResult> sim_results = runner.run(jobs);
+  exec::BatchRunner::Options runner_options;
+  runner_options.threads = options.threads;
+  const exec::BatchRunner runner(runner_options);
+  const std::vector<exec::BatchResult> sim_results = runner.run(jobs);
 
   std::vector<BoldCell> cells;
   std::size_t job_index = 0;
@@ -138,6 +141,7 @@ std::string bold_sim_spec_text(const BoldOptions& options) {
   text += "seed " + std::to_string(options.seed_simgrid) + "\n";
   text += "replicas " + std::to_string(options.runs) + "\n";
   text += "seed_stride " + std::to_string(kSimSeedStride) + "\n";
+  if (options.sim_backend != "mw") text += "backend " + options.sim_backend + "\n";
   text += "sweep technique";
   for (const dls::Kind technique : options.techniques) {
     text += ' ' + dls::to_string(technique);
@@ -150,10 +154,10 @@ std::string bold_sim_spec_text(const BoldOptions& options) {
 
 std::vector<double> bold_sim_run_series(const BoldOptions& options, dls::Kind technique,
                                         std::size_t pes) {
-  mw::BatchRunner::Options batch_options;
+  exec::BatchRunner::Options batch_options;
   batch_options.threads = options.threads;
   batch_options.keep_values = true;
-  const mw::BatchRunner runner(batch_options);
+  const exec::BatchRunner runner(batch_options);
   return runner.run_one(make_sim_job(options, technique, pes)).wasted_values;
 }
 

@@ -8,7 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "mw/batch.hpp"
+#include "exec/backend.hpp"
+#include "exec/batch.hpp"
 #include "mw/metrics.hpp"
 #include "mw/simulation.hpp"
 #include "support/table.hpp"
@@ -220,6 +221,16 @@ ExperimentSpec parse_experiment_spec(std::string_view text) {
       if (spec.seed_stride == 0) parse_error(line, "seed_stride must be >= 1");
     } else if (key == "threads") {
       spec.threads = static_cast<unsigned>(to_size(value, line));
+    } else if (key == "backend") {
+      if (!exec::is_backend_name(value)) {
+        std::string known;
+        for (const std::string& name : exec::backend_names()) {
+          if (!known.empty()) known += " | ";
+          known += name;
+        }
+        parse_error(line, "unknown backend '" + value + "' (known: " + known + ")");
+      }
+      spec.backend = value;
     } else {
       parse_error(line, "unknown key: " + key);
     }
@@ -330,6 +341,7 @@ std::string serialize_experiment_spec(const ExperimentSpec& spec) {
   if (spec.replicas != 1) emit("replicas", std::to_string(spec.replicas));
   if (spec.seed_stride != 1) emit("seed_stride", std::to_string(spec.seed_stride));
   if (spec.threads != 0) emit("threads", std::to_string(spec.threads));
+  if (spec.backend != "mw") emit("backend", spec.backend);
   return out.str();
 }
 
@@ -337,37 +349,51 @@ namespace {
 
 void print_single_run(const ExperimentSpec& spec, std::ostream& out) {
   const mw::Config& cfg = spec.config;
-  const mw::RunResult result = mw::run_simulation(cfg);
-  const mw::Metrics metrics = mw::compute_metrics(result, cfg);
-
   support::Table table({"measured value", "result"});
   table.add_row({"technique", dls::to_string(cfg.technique)});
   table.add_row({"tasks x timesteps", std::to_string(cfg.tasks) + " x " +
                                           std::to_string(cfg.timesteps)});
   table.add_row({"workers", std::to_string(cfg.workers)});
   table.add_row({"workload", cfg.workload->name()});
-  table.add_row({"makespan [s]", support::fmt(metrics.makespan, 4)});
-  table.add_row({"scheduling operations", std::to_string(metrics.chunks)});
-  table.add_row({"average wasted time [s]", support::fmt(metrics.avg_wasted_time, 4)});
-  table.add_row({"speedup", support::fmt(metrics.speedup, 3)});
-  table.add_row({"overhead degree", support::fmt(metrics.overhead_degree, 3)});
-  table.add_row({"imbalance degree", support::fmt(metrics.imbalance_degree, 3)});
+  if (spec.backend == "mw") {
+    const mw::RunResult result = mw::run_simulation(cfg);
+    const mw::Metrics metrics = mw::compute_metrics(result, cfg);
+    table.add_row({"makespan [s]", support::fmt(metrics.makespan, 4)});
+    table.add_row({"scheduling operations", std::to_string(metrics.chunks)});
+    table.add_row({"average wasted time [s]", support::fmt(metrics.avg_wasted_time, 4)});
+    table.add_row({"speedup", support::fmt(metrics.speedup, 3)});
+    table.add_row({"overhead degree", support::fmt(metrics.overhead_degree, 3)});
+    table.add_row({"imbalance degree", support::fmt(metrics.imbalance_degree, 3)});
+  } else {
+    // Non-reference vehicles report the uniform measured values only
+    // (the Tzen-Ni degree metrics are mw-specific).
+    const auto backend = exec::make_backend(spec.backend);
+    const exec::Measured m = backend->measure(cfg);
+    table.add_row({"backend", spec.backend});
+    table.add_row({"makespan [s]", support::fmt(m.makespan, 4)});
+    table.add_row({"scheduling operations", support::fmt(m.chunks, 0)});
+    table.add_row({"average wasted time [s]", support::fmt(m.avg_wasted_time, 4)});
+    table.add_row({"speedup", support::fmt(m.speedup, 3)});
+  }
   table.print(out);
 }
 
 void print_replica_summary(const ExperimentSpec& spec, std::ostream& out) {
-  mw::BatchJob job;
+  exec::BatchJob job;
   job.config = spec.config;
   job.replicas = spec.replicas;
   job.seed_stride = spec.seed_stride;
-  mw::BatchRunner::Options options;
+  job.backend = spec.backend;
+  exec::BatchRunner::Options options;
   options.threads = spec.threads;
-  const mw::BatchResult r = mw::BatchRunner(options).run_one(job);
+  const exec::BatchResult r = exec::BatchRunner(options).run_one(job);
 
   const mw::Config& cfg = spec.config;
   out << "technique " << dls::to_string(cfg.technique) << ", " << cfg.tasks << " tasks x "
       << cfg.timesteps << " timesteps, " << cfg.workers << " workers, "
-      << cfg.workload->name() << ", " << spec.replicas << " replicas (seeds " << cfg.seed;
+      << cfg.workload->name() << ", ";
+  if (spec.backend != "mw") out << spec.backend << " backend, ";
+  out << spec.replicas << " replicas (seeds " << cfg.seed;
   if (spec.seed_stride == 1) {
     out << ".." << cfg.seed + spec.replicas - 1;
   } else {

@@ -36,6 +36,11 @@ struct BoldOptions {
   std::uint64_t seed_original = 1000003;
   std::uint64_t seed_simgrid = 2000003;
   unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Execution backend of the "simulation" side (exec::backend_names();
+  /// the replicated-original side always runs hagerup).  Running the
+  /// sim side on "hagerup" turns the figure into a same-simulator
+  /// seed-sensitivity baseline.
+  std::string sim_backend = "mw";
 };
 
 /// One cell of a Figure 5-8 comparison.

@@ -29,9 +29,10 @@ namespace repro {
 ///   css_chunk 0
 ///   gss_min   1
 ///   rand48    false
-///   replicas  1               # > 1 batches independent seeds (mw::BatchRunner)
+///   replicas  1               # > 1 batches independent seeds (exec::BatchRunner)
 ///   seed_stride 1             # replica r runs with seed + seed_stride * r
 ///   threads   0               # worker threads for replicas (0 = hardware)
+///   backend   mw              # execution vehicle: mw | hagerup | runtime
 ///
 /// A `sweep <key> <v1> <v2> ...` line is a grid directive, not an
 /// experiment key: sweep::parse_grid expands the cartesian product of
@@ -62,6 +63,9 @@ struct ExperimentSpec {
   std::size_t replicas = 1;           ///< replica r runs with seed + seed_stride * r
   std::uint64_t seed_stride = 1;      ///< seed distance between replicas
   unsigned threads = 0;
+  /// Execution vehicle the experiment runs on (exec::backend_names();
+  /// "mw" is the reference message-passing simulator).
+  std::string backend = "mw";
 };
 
 /// Parse the format described above.  Unknown keys are an error (a
@@ -81,10 +85,11 @@ struct ExperimentSpec {
 /// with no from_spec form).
 [[nodiscard]] std::string serialize_experiment_spec(const ExperimentSpec& spec);
 
-/// Run the experiment described by `text` and render the measured
-/// values (paper Figure 2: "Measured Value(s)") to `out`.  With
-/// replicas > 1 the runs are batched through mw::BatchRunner and the
-/// summary statistics of the measured values are rendered instead.
+/// Run the experiment described by `text` on its declared backend and
+/// render the measured values (paper Figure 2: "Measured Value(s)") to
+/// `out`.  With replicas > 1 the runs are batched through
+/// exec::BatchRunner and the summary statistics of the measured values
+/// are rendered instead.
 void run_experiment_file(std::string_view text, std::ostream& out);
 
 /// Same, for an already-parsed spec (lets callers report parse errors

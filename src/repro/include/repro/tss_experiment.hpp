@@ -33,6 +33,11 @@ struct TssOptions {
   double sim_overhead_h = 1e-6;  ///< master chunk-calculation time
 
   std::uint64_t seed = 42;
+
+  /// Execution backend of the simulation side (exec::backend_names()).
+  /// Non-mw backends reject the simulated-overhead mode these
+  /// experiments use unless sim_overhead_h is also adjusted.
+  std::string sim_backend = "mw";
 };
 
 /// Experiment 1 of the TSS publication: 100000 tasks of 110 us;

@@ -107,6 +107,12 @@ LoopStats DlsLoopExecutor::run(std::size_t n,
   return stats;
 }
 
+void DlsLoopExecutor::reset() {
+  technique_.reset();
+  technique_n_ = 0;
+  loop_count_ = 0;
+}
+
 LoopStats DlsLoopExecutor::run_indexed(std::size_t n,
                                        const std::function<void(std::size_t)>& body) {
   return run(n, [&body](std::size_t begin, std::size_t end) {

@@ -70,6 +70,13 @@ class DlsLoopExecutor {
   /// Convenience: per-index body.
   LoopStats run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Drop the current technique instance so the next run() starts from
+  /// fresh scheduling state even with an unchanged n.  This is the
+  /// boundary between independent *replicas* (exec::Backend resets
+  /// between them), as opposed to the persisted-adaptive-state timestep
+  /// semantics of consecutive run() calls.
+  void reset();
+
   [[nodiscard]] unsigned threads() const { return threads_; }
   [[nodiscard]] dls::Kind technique() const { return options_.technique; }
   /// Number of run() calls served by the current technique instance:

@@ -1,8 +1,11 @@
 #include "sweep/grid.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+
+#include "mw/batch.hpp"
 
 namespace sweep {
 namespace {
@@ -25,6 +28,23 @@ std::size_t Grid::cells() const {
     product *= axis.values.size();
   }
   return product;
+}
+
+const Axis* Grid::backend_axis() const {
+  // Canonicalized by parse_grid: if present, the backend axis is last.
+  if (!axes.empty() && axes.back().key == "backend") return &axes.back();
+  return nullptr;
+}
+
+std::size_t Grid::backend_count() const {
+  const Axis* axis = backend_axis();
+  return axis != nullptr ? axis->values.size() : 1;
+}
+
+std::size_t Grid::science_cells() const { return cells() / backend_count(); }
+
+std::size_t Grid::science_axes() const {
+  return axes.size() - (backend_axis() != nullptr ? 1 : 0);
 }
 
 Grid parse_grid(std::string_view text) {
@@ -73,6 +93,22 @@ Grid parse_grid(std::string_view text) {
     grid.axes.push_back(std::move(axis));
   }
 
+  // Canonicalize the execution-vehicle dimension: the backend axis is
+  // always innermost (fastest-varying) with name-sorted values, so
+  // record order, shard assignment and merges do not depend on where or
+  // in which value order the axis was declared -- and the scientific
+  // cell index is simply index / backend_count().
+  for (std::size_t a = 0; a + 1 < grid.axes.size(); ++a) {
+    if (grid.axes[a].key == "backend") {
+      std::rotate(grid.axes.begin() + static_cast<std::ptrdiff_t>(a),
+                  grid.axes.begin() + static_cast<std::ptrdiff_t>(a) + 1, grid.axes.end());
+      break;
+    }
+  }
+  if (grid.backend_axis() != nullptr) {
+    std::sort(grid.axes.back().values.begin(), grid.axes.back().values.end());
+  }
+
   if (grid.cells() == 0) throw std::invalid_argument("sweep grid has no cells");
   // Validate every axis value now: parse the cell that combines value
   // v of axis a with value 0 of every other axis, so a typo in any
@@ -99,13 +135,16 @@ Grid parse_grid(std::string_view text) {
                ("axis '" + grid.axes[a].key + "' value '" + grid.axes[a].values[v] + "'").c_str());
     }
   }
+  if (grid.backend_axis() == nullptr) {
+    grid.fixed_backend = cell(grid, 0).spec.backend;
+  }
   return grid;
 }
 
 namespace {
 
 /// Mixed-radix decode of `index`, last axis fastest (row-major in axis
-/// declaration order).
+/// declaration order; the backend axis, if any, is canonically last).
 std::vector<std::pair<std::string, std::string>> decode_assignment(const Grid& grid,
                                                                    std::size_t index) {
   const std::size_t total = grid.cells();
@@ -139,21 +178,36 @@ std::string cell_text(const Grid& grid, std::size_t index) {
 Cell cell(const Grid& grid, std::size_t index) {
   Cell out;
   out.index = index;
+  out.science_index = index / grid.backend_count();
   out.assignment = decode_assignment(grid, index);
   out.spec = repro::parse_experiment_spec(cell_text(grid, index));
   return out;
 }
 
-mw::BatchJob batch_job(const Grid& grid, const Cell& cell) {
-  mw::BatchJob job;
+std::string_view cell_backend(const Grid& grid, std::size_t index) {
+  if (index >= grid.cells()) {
+    throw std::out_of_range("sweep cell " + std::to_string(index) + " out of range (grid has " +
+                            std::to_string(grid.cells()) + " cells)");
+  }
+  if (const Axis* axis = grid.backend_axis()) {
+    return axis->values[index % axis->values.size()];
+  }
+  return grid.fixed_backend;
+}
+
+exec::BatchJob batch_job(const Grid& grid, const Cell& cell) {
+  exec::BatchJob job;
   job.config = cell.spec.config;
   job.replicas = cell.spec.replicas;
   job.seed_stride = cell.spec.seed_stride;
-  if (!grid.axes.empty()) {
+  job.backend = cell.spec.backend;
+  if (grid.science_axes() > 0) {
     // Decorrelate the cells: with a shared base seed and the default
     // stride of 1, every cell would otherwise replay the same replica
-    // seed sequence (see mw::derive_cell_seed).
-    job.config.seed = mw::derive_cell_seed(cell.spec.config.seed, cell.index);
+    // seed sequence (see mw::derive_cell_seed).  The scientific index
+    // drives the derivation, so every backend of a cell replays the
+    // cell on identical seeds -- the paper's cross-vehicle comparison.
+    job.config.seed = mw::derive_cell_seed(cell.spec.config.seed, cell.science_index);
   }
   return job;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <compare>
 #include <cstddef>
 #include <iosfwd>
 #include <optional>
@@ -8,55 +9,91 @@
 #include <string_view>
 #include <vector>
 
-#include "mw/batch.hpp"
+#include "exec/batch.hpp"
 #include "sweep/grid.hpp"
 
 namespace sweep {
 
+/// Identity of one record: the scientific cell index plus the resolved
+/// execution backend.  A grid with a `backend` axis emits one record
+/// per (cell, backend); a grid without one resolves every record to its
+/// fixed backend ("mw" unless the spec says otherwise).  Ordering is
+/// (cell, backend name) -- exactly the canonical emission order of
+/// SweepRunner, so sorted merges reproduce an unsharded run's bytes.
+struct RecordKey {
+  std::size_t cell = 0;
+  std::string backend;
+  friend auto operator<=>(const RecordKey&, const RecordKey&) = default;
+};
+
 /// Render one completed cell as a single JSONL record:
 ///
-///   {"cell":12,"of":40,"sweep":{"technique":"GSS","workers":"64"},
-///    "seed":13623984377702626965,"seed_stride":1,"replicas":100,
+///   {"cell":12,"of":40,"backend":"mw","replicas":100,
+///    "sweep":{"technique":"GSS","workers":"64"},
+///    "seed":13623984377702626965,"seed_stride":1,
 ///    "experiment":"technique GSS\n...","makespan":{...},
 ///    "avg_wasted_time":{...},"speedup":{...},"chunks":{...}}
 ///
-/// `experiment` is the serialized cell spec with the derived seed
-/// applied -- paste it into `dls_sim -` to replay the cell.  Each
-/// summary object carries count/mean/stddev/min/max/median/p5/p95/
-/// ci95_lo/ci95_hi/nan_count (stats::Summary).  All doubles use
-/// shortest round-trip formatting, so re-running a cell renders a
-/// byte-identical record and shard merges are deterministic.
+/// "cell"/"of" count *scientific* cells (the backend axis removed), so
+/// the mw slice of a backend sweep is bitwise identical to the same
+/// spec run without the axis; "backend" and "replicas" are explicit
+/// top-level fields.  The "sweep" object carries the scientific axis
+/// assignment only.  `experiment` is the serialized cell spec with the
+/// derived seed (and the backend key) applied -- paste it into
+/// `dls_sim -` to replay the cell.  Each summary object carries
+/// count/mean/stddev/min/max/median/p5/p95/ci95_lo/ci95_hi/nan_count
+/// (stats::Summary).  All doubles use shortest round-trip formatting,
+/// so re-running a cell on a deterministic backend renders a
+/// byte-identical record and shard merges are deterministic.  (The
+/// native `runtime` backend measures wall clock: its records resume and
+/// merge by identity, but re-running such a cell produces different
+/// bytes.)
 [[nodiscard]] std::string render_record(const Grid& grid, const Cell& cell,
-                                        const mw::BatchJob& job, const mw::BatchResult& result);
+                                        const exec::BatchJob& job,
+                                        const exec::BatchResult& result);
 
 /// The "cell" field of a record line; nullopt if the line is not a
 /// complete record (e.g. truncated by a mid-write kill).
 [[nodiscard]] std::optional<std::size_t> record_cell_index(std::string_view line);
 
-/// The "of" field (grid size) of a record line; nullopt if the line is
-/// not a complete record.
+/// The "backend" field of a record line; nullopt if the line is not a
+/// complete record.
+[[nodiscard]] std::optional<std::string> record_backend(std::string_view line);
+
+/// The full identity (cell, backend) of a record line; nullopt if the
+/// line is not a complete record.
+[[nodiscard]] std::optional<RecordKey> record_key(std::string_view line);
+
+/// The "of" field (scientific grid size) of a record line; nullopt if
+/// the line is not a complete record.
 [[nodiscard]] std::optional<std::size_t> record_grid_size(std::string_view line);
 
 /// The unescaped "experiment" echo of a record line; nullopt if the
 /// line is not a complete record.
 [[nodiscard]] std::optional<std::string> record_experiment(std::string_view line);
 
-/// The experiment echo a record of cell `index` must carry (the
-/// serialized cell spec with the derived seed applied -- what
-/// render_record embeds).
+/// The experiment echo a record of (full) cell `index` must carry (the
+/// serialized cell spec with the derived seed and backend applied --
+/// what render_record embeds).
 [[nodiscard]] std::string cell_experiment_text(const Grid& grid, std::size_t index);
 
 /// Check that previously written records actually belong to `grid`:
-/// every record's grid size must equal grid.cells(), its cell index
-/// must be in range, and its experiment echo must be byte-identical to
-/// what the grid would run for that cell.  Throws std::invalid_argument
+/// every record's grid size must equal grid.science_cells(), its cell
+/// index must be in range, its backend must be one the grid runs, and
+/// its experiment echo must be byte-identical to what the grid would
+/// run for that (cell, backend).  Throws std::invalid_argument
 /// otherwise -- resuming with the wrong spec (or onto the wrong output
 /// file) must fail loudly, not silently keep stale results.
 void validate_records_for_grid(const Grid& grid, const std::vector<std::string>& lines);
 
+/// The full cell index of `key` in `grid` (inverse of the record's
+/// (cell, backend) identity).  Throws std::invalid_argument when the
+/// grid does not run `key`'s backend or the cell is out of range.
+[[nodiscard]] std::size_t grid_index_of(const Grid& grid, const RecordKey& key);
+
 /// What a resume scan found in an existing output file.
 struct ScanResult {
-  std::set<std::size_t> done;       ///< cell indices with a complete record
+  std::set<RecordKey> done;         ///< (cell, backend) with a complete record
   std::vector<std::string> lines;   ///< the complete records, in file order
   bool dropped_partial_tail = false;  ///< a truncated final line was discarded
 };
@@ -64,16 +101,18 @@ struct ScanResult {
 /// Scan an existing sweep output for resumable state.  A malformed
 /// *final* line is the signature of a kill mid-write and is dropped
 /// (reported via dropped_partial_tail); a malformed line anywhere else
-/// means the file is not a sweep output and throws.  Duplicate cell
-/// records must be byte-identical (the deterministic-record guarantee);
-/// conflicting duplicates throw.
+/// means the file is not a sweep output and throws.  Duplicate
+/// (cell, backend) records must be byte-identical (the
+/// deterministic-record guarantee); conflicting duplicates throw.
 [[nodiscard]] ScanResult scan_records(std::istream& in);
 
 /// Deterministically merge shard outputs (e.g. from independent
-/// machines): records are deduplicated (byte-identical duplicates
-/// collapse; conflicting records for the same cell throw) and returned
-/// sorted by cell index, so any shard arrival order produces the same
-/// merged file.  Records must agree on the grid size ("of" field).
+/// machines): records are deduplicated by (cell, backend)
+/// (byte-identical duplicates collapse; conflicting records throw) and
+/// returned sorted by (cell, backend name) -- the canonical emission
+/// order -- so any shard arrival order produces the same merged file,
+/// byte-identical to an unsharded run.  Records must agree on the grid
+/// size ("of" field).
 [[nodiscard]] std::vector<std::string> merge_records(
     const std::vector<std::vector<std::string>>& shards);
 

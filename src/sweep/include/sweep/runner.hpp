@@ -4,40 +4,52 @@
 #include <functional>
 #include <iosfwd>
 #include <set>
+#include <string_view>
 
 #include "sweep/grid.hpp"
+#include "sweep/record.hpp"
 
 namespace sweep {
 
-/// Shards a grid over mw::BatchRunner and streams one JSONL record per
-/// completed cell (see sweep/record.hpp).  Cells are visited in index
-/// order; each cell's replicas run in parallel through the batch
-/// runner, and the record is flushed before the next cell starts, so a
-/// killed sweep loses at most the cell in flight.  Combined with
-/// scan_records this makes a sweep resumable: pass the scanned `done`
-/// set and completed cells are skipped instead of recomputed.
+/// Shards a grid over exec::BatchRunner and streams one JSONL record
+/// per completed (cell, backend) (see sweep/record.hpp).  Cells are
+/// visited in canonical index order (backend axis innermost,
+/// name-sorted); each cell's replicas run in parallel through the batch
+/// runner on the cell's resolved backend, and the record is flushed
+/// before the next cell starts, so a killed sweep loses at most the
+/// cell in flight.  Combined with scan_records this makes a sweep
+/// resumable: pass the scanned `done` set and completed cells are
+/// skipped instead of recomputed.
 class SweepRunner {
  public:
   struct Options {
     /// Worker threads per cell; 0 = the cell spec's `threads` key
     /// (which itself defaults to the hardware concurrency).
     unsigned threads = 0;
-    /// This process runs the cells with index % shard_count ==
-    /// shard_index -- round-robin, so every shard sees a mix of cheap
-    /// and expensive cells of a grid ordered by size.
+    /// This process runs the cells with (science_index + backend
+    /// position) % shard_count == shard_index -- diagonal round-robin,
+    /// so every shard sees a mix of cheap and expensive cells of a
+    /// grid ordered by size AND, in a backend sweep, a mix of backends
+    /// (a plain `index % shard_count` would hand entire backend slices
+    /// to single shards whenever shard_count divides the backend
+    /// count, e.g. 2 shards x 2 backends).  Grids without a backend
+    /// axis shard exactly as before (index % shard_count).
     std::size_t shard_index = 0;
     std::size_t shard_count = 1;
-    /// Stop after computing this many new cells (0 = no limit).  The
-    /// deterministic stand-in for "the machine died mid-sweep" in the
-    /// resume tests and CI.
+    /// Stop after computing this many new cells (0 = no limit).  Cells
+    /// skipped as already done do NOT count, so resuming a truncated
+    /// shard continues at the first uncomputed cell.  The deterministic
+    /// stand-in for "the machine died mid-sweep" in the resume tests
+    /// and CI.
     std::size_t max_cells = 0;
   };
 
   /// Progress callback, invoked once per owned cell.
   struct CellEvent {
-    std::size_t cell = 0;         ///< cell index
-    std::size_t cells_total = 0;  ///< grid size
-    bool skipped = false;         ///< already present in the output
+    std::size_t cell = 0;          ///< scientific cell index
+    std::string_view backend;      ///< resolved backend of this record
+    std::size_t cells_total = 0;   ///< grid size (records incl. backend axis)
+    bool skipped = false;          ///< already present in the output
   };
   using Observer = std::function<void(const CellEvent&)>;
 
@@ -46,10 +58,14 @@ class SweepRunner {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
-  /// Run the grid, skipping cells in `done` (and cells owned by other
-  /// shards); append one record line per computed cell to `out`.
+  /// Number of cells this runner's shard owns in `grid` (the
+  /// denominator of a per-shard progress display).
+  [[nodiscard]] std::size_t owned_cells(const Grid& grid) const;
+
+  /// Run the grid, skipping records in `done` (and cells owned by
+  /// other shards); append one record line per computed cell to `out`.
   /// Returns the number of cells computed.
-  std::size_t run(const Grid& grid, const std::set<std::size_t>& done, std::ostream& out,
+  std::size_t run(const Grid& grid, const std::set<RecordKey>& done, std::ostream& out,
                   const Observer& observer = {}) const;
 
  private:

@@ -75,6 +75,18 @@ std::optional<std::size_t> uint_field(std::string_view line, std::string_view ke
   return value;
 }
 
+/// Extract the string value of `"key":"<text>"` in `line`.  Backend
+/// names are plain identifiers, so no unescaping is needed.
+std::optional<std::string> string_field(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  const std::size_t start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(start, end - start));
+}
+
 /// True if `line` has the shape of a complete record: starts as one and
 /// its braces balance back to zero exactly at the final character
 /// (tracked through JSON strings, so braces inside the escaped
@@ -83,7 +95,10 @@ std::optional<std::size_t> uint_field(std::string_view line, std::string_view ke
 /// *internal* '}' (a bare line.back() == '}' check would accept that
 /// truncation and resume would keep a corrupt record forever).
 bool looks_complete(std::string_view line) {
-  if (!line.starts_with("{\"cell\":") || !uint_field(line, "of").has_value()) return false;
+  if (!line.starts_with("{\"cell\":") || !uint_field(line, "of").has_value() ||
+      !string_field(line, "backend").has_value()) {
+    return false;
+  }
   int depth = 0;
   bool in_string = false;
   bool escaped = false;
@@ -109,30 +124,57 @@ bool looks_complete(std::string_view line) {
 }  // namespace
 
 std::string cell_experiment_text(const Grid& grid, std::size_t index) {
-  // The replayable echo: the cell spec with the derived seed and stride
-  // applied, exactly what batch_job runs.
+  // The replayable echo: the cell spec with the derived seed, stride
+  // and backend applied, exactly what batch_job runs.
   const Cell c = cell(grid, index);
-  const mw::BatchJob job = batch_job(grid, c);
+  const exec::BatchJob job = batch_job(grid, c);
   repro::ExperimentSpec echo = c.spec;
   echo.config.seed = job.config.seed;
   echo.seed_stride = job.seed_stride;
   echo.replicas = job.replicas;
+  echo.backend = job.backend;
   return repro::serialize_experiment_spec(echo);
 }
 
-std::string render_record(const Grid& grid, const Cell& cell, const mw::BatchJob& job,
-                          const mw::BatchResult& result) {
-  std::string out = "{\"cell\":" + std::to_string(cell.index);
-  out += ",\"of\":" + std::to_string(grid.cells());
+std::size_t grid_index_of(const Grid& grid, const RecordKey& key) {
+  if (key.cell >= grid.science_cells()) {
+    throw std::invalid_argument("record for cell " + std::to_string(key.cell) +
+                                " is out of range (grid has " +
+                                std::to_string(grid.science_cells()) + " cells)");
+  }
+  if (const Axis* axis = grid.backend_axis()) {
+    const auto it = std::find(axis->values.begin(), axis->values.end(), key.backend);
+    if (it == axis->values.end()) {
+      throw std::invalid_argument("record backend '" + key.backend +
+                                  "' is not part of this grid's backend axis");
+    }
+    return key.cell * axis->values.size() +
+           static_cast<std::size_t>(it - axis->values.begin());
+  }
+  if (key.backend != grid.fixed_backend) {
+    throw std::invalid_argument("record backend '" + key.backend +
+                                "' does not match this grid's backend '" + grid.fixed_backend +
+                                "'");
+  }
+  return key.cell;
+}
+
+std::string render_record(const Grid& grid, const Cell& cell, const exec::BatchJob& job,
+                          const exec::BatchResult& result) {
+  std::string out = "{\"cell\":" + std::to_string(cell.science_index);
+  out += ",\"of\":" + std::to_string(grid.science_cells());
+  out += ",\"backend\":\"" + json_escape(job.backend) + '"';
+  out += ",\"replicas\":" + std::to_string(job.replicas);
   out += ",\"sweep\":{";
-  for (std::size_t i = 0; i < cell.assignment.size(); ++i) {
-    if (i > 0) out += ',';
-    out += '"' + json_escape(cell.assignment[i].first) + "\":\"" +
-           json_escape(cell.assignment[i].second) + '"';
+  bool first = true;
+  for (const auto& [key, value] : cell.assignment) {
+    if (key == "backend") continue;  // the vehicle is a top-level field, not a parameter
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(key) + "\":\"" + json_escape(value) + '"';
   }
   out += "},\"seed\":" + std::to_string(job.config.seed);
   out += ",\"seed_stride\":" + std::to_string(job.seed_stride);
-  out += ",\"replicas\":" + std::to_string(job.replicas);
   out += ",\"experiment\":\"" + json_escape(cell_experiment_text(grid, cell.index)) + '"';
   out += ",\"makespan\":" + summary_json(result.makespan);
   out += ",\"avg_wasted_time\":" + summary_json(result.avg_wasted_time);
@@ -145,6 +187,19 @@ std::string render_record(const Grid& grid, const Cell& cell, const mw::BatchJob
 std::optional<std::size_t> record_cell_index(std::string_view line) {
   if (!looks_complete(line)) return std::nullopt;
   return uint_field(line, "cell");
+}
+
+std::optional<std::string> record_backend(std::string_view line) {
+  if (!looks_complete(line)) return std::nullopt;
+  return string_field(line, "backend");
+}
+
+std::optional<RecordKey> record_key(std::string_view line) {
+  if (!looks_complete(line)) return std::nullopt;
+  const std::optional<std::size_t> cell = uint_field(line, "cell");
+  std::optional<std::string> backend = string_field(line, "backend");
+  if (!cell || !backend) return std::nullopt;
+  return RecordKey{*cell, *std::move(backend)};
 }
 
 std::optional<std::size_t> record_grid_size(std::string_view line) {
@@ -196,22 +251,29 @@ std::optional<std::string> record_experiment(std::string_view line) {
 }
 
 void validate_records_for_grid(const Grid& grid, const std::vector<std::string>& lines) {
-  const std::size_t total = grid.cells();
+  const std::size_t total = grid.science_cells();
   for (const std::string& line : lines) {
-    const std::optional<std::size_t> index = record_cell_index(line);
+    const std::optional<RecordKey> key = record_key(line);
     const std::optional<std::size_t> of = record_grid_size(line);
-    if (!index || !of) throw std::invalid_argument("resume: malformed record line");
-    if (*of != total || *index >= total) {
-      throw std::invalid_argument("resume: record for cell " + std::to_string(*index) +
+    if (!key || !of) throw std::invalid_argument("resume: malformed record line");
+    if (*of != total) {
+      throw std::invalid_argument("resume: record for cell " + std::to_string(key->cell) +
                                   " of a " + std::to_string(*of) +
                                   "-cell grid does not belong to this spec (" +
                                   std::to_string(total) + " cells)");
     }
+    std::size_t index = 0;
+    try {
+      index = grid_index_of(grid, *key);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("resume: ") + e.what());
+    }
     const std::optional<std::string> echo = record_experiment(line);
-    if (!echo || *echo != cell_experiment_text(grid, *index)) {
+    if (!echo || *echo != cell_experiment_text(grid, index)) {
       throw std::invalid_argument(
-          "resume: the record for cell " + std::to_string(*index) +
-          " was produced by a different experiment spec; refusing to mix results "
+          "resume: the record for cell " + std::to_string(key->cell) + " (backend " +
+          key->backend +
+          ") was produced by a different experiment spec; refusing to mix results "
           "(use --overwrite to discard the file)");
     }
   }
@@ -231,21 +293,22 @@ ScanResult scan_records(std::istream& in) {
                                   ": malformed record in the middle of the file (not a sweep "
                                   "output, or corrupted)");
     }
-    const std::optional<std::size_t> index = record_cell_index(line);
-    if (!index) {
+    const std::optional<RecordKey> key = record_key(line);
+    if (!key) {
       pending_bad_line = line_no;
       continue;
     }
-    if (const auto [it, inserted] = out.done.insert(*index); !inserted) {
+    if (const auto [it, inserted] = out.done.insert(*key); !inserted) {
       // A duplicate can only come from a rewrite race; records are
       // deterministic, so byte-identical duplicates are tolerated.
       const auto existing = std::find_if(out.lines.begin(), out.lines.end(), [&](const auto& l) {
-        return record_cell_index(l) == index;
+        return record_key(l) == key;
       });
       if (existing == out.lines.end() || *existing != line) {
         throw std::invalid_argument("sweep output line " + std::to_string(line_no) +
                                     ": conflicting duplicate record for cell " +
-                                    std::to_string(*index));
+                                    std::to_string(key->cell) + " (backend " + key->backend +
+                                    ")");
       }
       continue;
     }
@@ -258,12 +321,12 @@ ScanResult scan_records(std::istream& in) {
 }
 
 std::vector<std::string> merge_records(const std::vector<std::vector<std::string>>& shards) {
-  std::map<std::size_t, std::string> by_cell;
+  std::map<RecordKey, std::string> by_cell;
   std::optional<std::size_t> grid_size;
   for (std::size_t s = 0; s < shards.size(); ++s) {
     for (const std::string& line : shards[s]) {
-      const std::optional<std::size_t> index = record_cell_index(line);
-      if (!index) {
+      const std::optional<RecordKey> key = record_key(line);
+      if (!key) {
         throw std::invalid_argument("merge: shard " + std::to_string(s) +
                                     " contains a malformed record line");
       }
@@ -274,19 +337,20 @@ std::vector<std::string> merge_records(const std::vector<std::vector<std::string
             std::to_string(*of) + " cells vs " + std::to_string(*grid_size) + ")");
       }
       grid_size = of;
-      if (const auto it = by_cell.find(*index); it != by_cell.end()) {
+      if (const auto it = by_cell.find(*key); it != by_cell.end()) {
         if (it->second != line) {
           throw std::invalid_argument("merge: conflicting records for cell " +
-                                      std::to_string(*index));
+                                      std::to_string(key->cell) + " (backend " + key->backend +
+                                      ")");
         }
         continue;
       }
-      by_cell.emplace(*index, line);
+      by_cell.emplace(*key, line);
     }
   }
   std::vector<std::string> merged;
   merged.reserve(by_cell.size());
-  for (auto& [index, line] : by_cell) merged.push_back(std::move(line));
+  for (auto& [key, line] : by_cell) merged.push_back(std::move(line));
   return merged;
 }
 

@@ -4,8 +4,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "sweep/record.hpp"
-
 namespace sweep {
 
 SweepRunner::SweepRunner(Options options) : options_(options) {
@@ -20,23 +18,48 @@ SweepRunner::SweepRunner(Options options) : options_(options) {
   }
 }
 
-std::size_t SweepRunner::run(const Grid& grid, const std::set<std::size_t>& done,
+namespace {
+
+/// Diagonal shard assignment: science index + backend position, so a
+/// backend axis never degenerates into one-backend shards (see
+/// SweepRunner::Options::shard_index).
+std::size_t shard_of(const Grid& grid, std::size_t index, std::size_t shard_count) {
+  const std::size_t backends = grid.backend_count();
+  return (index / backends + index % backends) % shard_count;
+}
+
+}  // namespace
+
+std::size_t SweepRunner::owned_cells(const Grid& grid) const {
+  const std::size_t total = grid.cells();
+  std::size_t owned = 0;
+  for (std::size_t index = 0; index < total; ++index) {
+    if (shard_of(grid, index, options_.shard_count) == options_.shard_index) ++owned;
+  }
+  return owned;
+}
+
+std::size_t SweepRunner::run(const Grid& grid, const std::set<RecordKey>& done,
                              std::ostream& out, const Observer& observer) const {
   const std::size_t total = grid.cells();
   std::size_t computed = 0;
   for (std::size_t index = 0; index < total; ++index) {
-    if (index % options_.shard_count != options_.shard_index) continue;
-    if (done.contains(index)) {
-      if (observer) observer(CellEvent{index, total, /*skipped=*/true});
+    if (shard_of(grid, index, options_.shard_count) != options_.shard_index) continue;
+    const std::string_view backend = cell_backend(grid, index);
+    const std::size_t science = index / grid.backend_count();
+    if (done.contains(RecordKey{science, std::string(backend)})) {
+      // Skips do not count toward max_cells: a resumed, previously
+      // truncated shard continues at the first *uncomputed* cell.
+      if (observer) observer(CellEvent{science, backend, total, /*skipped=*/true});
       continue;
     }
     if (options_.max_cells != 0 && computed >= options_.max_cells) break;
 
     const Cell c = cell(grid, index);
-    const mw::BatchJob job = batch_job(grid, c);
-    mw::BatchRunner::Options batch_options;
+    const exec::BatchJob job = batch_job(grid, c);
+    exec::BatchRunner::Options batch_options;
     batch_options.threads = options_.threads != 0 ? options_.threads : c.spec.threads;
-    const mw::BatchResult result = mw::BatchRunner(batch_options).run_one(job);
+    const exec::BatchResult result = exec::BatchRunner(batch_options).run_one(job);
 
     // One line per cell, flushed before the next cell starts: a kill
     // loses at most the cell in flight (and a partial final line, which
@@ -45,11 +68,11 @@ std::size_t SweepRunner::run(const Grid& grid, const std::set<std::size_t>& done
     if (!out) {
       // A full disk or write error must not let the sweep report
       // success over a truncated output.
-      throw std::runtime_error("sweep: writing the record for cell " + std::to_string(index) +
-                               " failed (disk full?)");
+      throw std::runtime_error("sweep: writing the record for cell " + std::to_string(science) +
+                               " (backend " + job.backend + ") failed (disk full?)");
     }
     ++computed;
-    if (observer) observer(CellEvent{index, total, /*skipped=*/false});
+    if (observer) observer(CellEvent{science, backend, total, /*skipped=*/false});
   }
   return computed;
 }

@@ -1,7 +1,9 @@
-// mw::BatchRunner: the batched entry point of the experiments.  The
+// exec::BatchRunner: the batched entry point of the experiments.  The
 // contract under test: results are aggregated per job, deterministic in
-// (job, replica) regardless of thread count, and identical to running
-// the replicas one by one through run_simulation/compute_metrics.
+// (job, replica) regardless of thread count, identical to running the
+// replicas one by one through run_simulation/compute_metrics (for the
+// mw backend) or hagerup::run (for the hagerup backend), and the
+// backend field routes each job to its execution vehicle.
 // Plus the grid seeding contract: BatchJob replica seeding is exactly
 // seed + stride * r (unchanged), and mw::derive_cell_seed gives grid
 // layers decorrelated, collision-free per-cell seeds.
@@ -11,6 +13,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "exec/batch.hpp"
+#include "hagerup/simulator.hpp"
 #include "mw/batch.hpp"
 #include "mw/metrics.hpp"
 #include "mw/simulation.hpp"
@@ -20,9 +24,9 @@ namespace {
 
 using dls::Kind;
 
-mw::BatchJob make_job(Kind kind, std::size_t workers, std::size_t tasks, std::size_t replicas,
+exec::BatchJob make_job(Kind kind, std::size_t workers, std::size_t tasks, std::size_t replicas,
                       std::uint64_t seed = 42, std::uint64_t stride = 7919) {
-  mw::BatchJob job;
+  exec::BatchJob job;
   job.config.technique = kind;
   job.config.workers = workers;
   job.config.tasks = tasks;
@@ -37,10 +41,10 @@ mw::BatchJob make_job(Kind kind, std::size_t workers, std::size_t tasks, std::si
 }
 
 TEST(BatchRunner, MatchesSequentialRuns) {
-  const mw::BatchJob job = make_job(Kind::kFAC2, 4, 512, 8);
-  mw::BatchRunner::Options options;
+  const exec::BatchJob job = make_job(Kind::kFAC2, 4, 512, 8);
+  exec::BatchRunner::Options options;
   options.keep_values = true;
-  const mw::BatchResult batched = mw::BatchRunner(options).run_one(job);
+  const exec::BatchResult batched = exec::BatchRunner(options).run_one(job);
 
   ASSERT_EQ(batched.makespan_values.size(), 8u);
   for (std::size_t r = 0; r < 8; ++r) {
@@ -54,16 +58,16 @@ TEST(BatchRunner, MatchesSequentialRuns) {
 }
 
 TEST(BatchRunner, IndependentOfThreadCount) {
-  const mw::BatchJob jobs[] = {
+  const exec::BatchJob jobs[] = {
       make_job(Kind::kGSS, 4, 256, 5),
       make_job(Kind::kSS, 2, 128, 3, /*seed=*/7),
       make_job(Kind::kBOLD, 8, 512, 4, /*seed=*/11),
   };
   auto run_with = [&](unsigned threads) {
-    mw::BatchRunner::Options options;
+    exec::BatchRunner::Options options;
     options.threads = threads;
     options.keep_values = true;
-    return mw::BatchRunner(options).run(jobs);
+    return exec::BatchRunner(options).run(jobs);
   };
   const auto a = run_with(1);
   const auto b = run_with(4);
@@ -77,11 +81,11 @@ TEST(BatchRunner, IndependentOfThreadCount) {
 }
 
 TEST(BatchRunner, AggregatesPerJob) {
-  const mw::BatchJob jobs[] = {
+  const exec::BatchJob jobs[] = {
       make_job(Kind::kSS, 2, 64, 10),
       make_job(Kind::kSS, 2, 64, 10),  // identical job -> identical summary
   };
-  const auto results = mw::BatchRunner().run(jobs);
+  const auto results = exec::BatchRunner().run(jobs);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].makespan.count, 10u);
   EXPECT_DOUBLE_EQ(results[0].makespan.mean, results[1].makespan.mean);
@@ -92,7 +96,7 @@ TEST(BatchRunner, AggregatesPerJob) {
 }
 
 TEST(BatchRunner, DropsValuesUnlessRequested) {
-  const mw::BatchResult r = mw::BatchRunner().run_one(make_job(Kind::kGSS, 2, 64, 3));
+  const exec::BatchResult r = exec::BatchRunner().run_one(make_job(Kind::kGSS, 2, 64, 3));
   EXPECT_TRUE(r.makespan_values.empty());
   EXPECT_TRUE(r.wasted_values.empty());
   EXPECT_EQ(r.makespan.count, 3u);
@@ -101,14 +105,14 @@ TEST(BatchRunner, DropsValuesUnlessRequested) {
 TEST(BatchRunner, RejectsZeroReplicaJobs) {
   // An all-zero Summary would render as a legitimate-looking makespan
   // of 0; the single entry point rejects the job instead.
-  mw::BatchJob job = make_job(Kind::kSS, 2, 32, 0);
-  EXPECT_THROW((void)mw::BatchRunner().run_one(job), std::invalid_argument);
+  exec::BatchJob job = make_job(Kind::kSS, 2, 32, 0);
+  EXPECT_THROW((void)exec::BatchRunner().run_one(job), std::invalid_argument);
 }
 
 TEST(BatchRunner, PropagatesSimulationErrors) {
-  mw::BatchJob job = make_job(Kind::kSS, 2, 64, 4);
+  exec::BatchJob job = make_job(Kind::kSS, 2, 64, 4);
   job.config.worker_failure_times = {1.0, 2.0};  // all workers fail -> throws
-  EXPECT_THROW((void)mw::BatchRunner().run_one(job), std::runtime_error);
+  EXPECT_THROW((void)exec::BatchRunner().run_one(job), std::runtime_error);
 }
 
 TEST(BatchSeeding, SameSeedCellsReplayIdenticalReplicaSequences) {
@@ -117,12 +121,12 @@ TEST(BatchSeeding, SameSeedCellsReplayIdenticalReplicaSequences) {
   // sequence, so their "independent" noise is perfectly correlated.
   // Grid layers must therefore derive per-cell seeds (next tests);
   // BatchJob itself intentionally keeps the raw seed + stride * r rule.
-  mw::BatchJob a = make_job(Kind::kFAC2, 4, 256, 6, /*seed=*/42, /*stride=*/1);
-  mw::BatchJob b = a;  // a second cell of the same grid, same base seed
-  mw::BatchRunner::Options options;
+  exec::BatchJob a = make_job(Kind::kFAC2, 4, 256, 6, /*seed=*/42, /*stride=*/1);
+  exec::BatchJob b = a;  // a second cell of the same grid, same base seed
+  exec::BatchRunner::Options options;
   options.keep_values = true;
-  const mw::BatchRunner runner(options);
-  const auto results = runner.run(std::vector<mw::BatchJob>{a, b});
+  const exec::BatchRunner runner(options);
+  const auto results = runner.run(std::vector<exec::BatchJob>{a, b});
   EXPECT_EQ(results[0].makespan_values, results[1].makespan_values);
   EXPECT_EQ(results[0].wasted_values, results[1].wasted_values);
 }
@@ -160,10 +164,10 @@ TEST(BatchSeeding, SingleJobWithExplicitStrideIsUnchanged) {
   // The derivation lives in the grid layer only: a single job run
   // through BatchRunner with an explicit stride still seeds replica r
   // with exactly seed + stride * r, bit-identical to isolated runs.
-  const mw::BatchJob job = make_job(Kind::kGSS, 4, 256, 5, /*seed=*/1234, /*stride=*/1000003);
-  mw::BatchRunner::Options options;
+  const exec::BatchJob job = make_job(Kind::kGSS, 4, 256, 5, /*seed=*/1234, /*stride=*/1000003);
+  exec::BatchRunner::Options options;
   options.keep_values = true;
-  const mw::BatchResult batched = mw::BatchRunner(options).run_one(job);
+  const exec::BatchResult batched = exec::BatchRunner(options).run_one(job);
   ASSERT_EQ(batched.makespan_values.size(), 5u);
   for (std::size_t r = 0; r < 5; ++r) {
     mw::Config cfg = job.config;
@@ -173,18 +177,73 @@ TEST(BatchSeeding, SingleJobWithExplicitStrideIsUnchanged) {
   }
 }
 
+TEST(BatchRunner, RejectsUnknownBackends) {
+  exec::BatchJob job = make_job(Kind::kSS, 2, 32, 2);
+  job.backend = "simgrid";  // not a vehicle of this repo
+  EXPECT_THROW((void)exec::BatchRunner().run_one(job), std::invalid_argument);
+}
+
+TEST(BatchRunner, HagerupJobsMatchDirectHagerupRuns) {
+  // A batch routed to the hagerup backend must reproduce, replica by
+  // replica, what hagerup::run reports for the converted config.
+  exec::BatchJob job = make_job(Kind::kGSS, 4, 512, 5, /*seed=*/321, /*stride=*/13);
+  job.backend = "hagerup";
+  exec::BatchRunner::Options options;
+  options.keep_values = true;
+  const exec::BatchResult batched = exec::BatchRunner(options).run_one(job);
+  ASSERT_EQ(batched.makespan_values.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    hagerup::Config cfg;
+    cfg.technique = job.config.technique;
+    cfg.params = job.config.params;
+    cfg.pes = job.config.workers;
+    cfg.tasks = job.config.tasks;
+    cfg.workload = job.config.workload;
+    cfg.seed = job.config.seed + job.seed_stride * r;
+    cfg.use_rand48 = job.config.use_rand48;
+    cfg.charge_overhead_inline = false;
+    const hagerup::RunResult result = hagerup::run(cfg);
+    EXPECT_DOUBLE_EQ(batched.makespan_values[r], result.makespan) << "replica " << r;
+    EXPECT_DOUBLE_EQ(batched.wasted_values[r], result.avg_wasted_time) << "replica " << r;
+  }
+}
+
+TEST(BatchRunner, MixedBackendJobsRunSideBySide) {
+  // One batch, three vehicles: the pool keys contexts by backend name,
+  // and deterministic backends stay thread-count independent.
+  exec::BatchJob mw_job = make_job(Kind::kFAC2, 4, 256, 3);
+  exec::BatchJob hagerup_job = mw_job;
+  hagerup_job.backend = "hagerup";
+  exec::BatchJob runtime_job = make_job(Kind::kSS, 2, 128, 2);
+  runtime_job.backend = "runtime";
+  auto run_with = [&](unsigned threads) {
+    exec::BatchRunner::Options options;
+    options.threads = threads;
+    options.keep_values = true;
+    return exec::BatchRunner(options).run(
+        std::vector<exec::BatchJob>{mw_job, hagerup_job, runtime_job});
+  };
+  const auto a = run_with(1);
+  const auto b = run_with(3);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].makespan_values, b[0].makespan_values);  // mw deterministic
+  EXPECT_EQ(a[1].makespan_values, b[1].makespan_values);  // hagerup deterministic
+  EXPECT_EQ(a[2].makespan.count, 2u);                     // runtime ran (wall clock)
+  for (const double v : a[2].makespan_values) EXPECT_GE(v, 0.0);
+}
+
 TEST(BatchRunner, MixedPlatformShapesReuseContextsSafely) {
   // Alternating worker counts force the per-thread contexts to rebuild
   // engines mid-batch; results must still match isolated runs.
-  const mw::BatchJob jobs[] = {
+  const exec::BatchJob jobs[] = {
       make_job(Kind::kFAC2, 2, 128, 3),
       make_job(Kind::kFAC2, 8, 128, 3),
       make_job(Kind::kFAC2, 2, 128, 3),
   };
-  mw::BatchRunner::Options options;
+  exec::BatchRunner::Options options;
   options.threads = 1;  // one thread -> one context sees every shape
   options.keep_values = true;
-  const auto results = mw::BatchRunner(options).run(jobs);
+  const auto results = exec::BatchRunner(options).run(jobs);
   EXPECT_EQ(results[0].makespan_values, results[2].makespan_values);
   for (std::size_t r = 0; r < 3; ++r) {
     mw::Config cfg = jobs[1].config;

@@ -8,20 +8,20 @@
 #include <set>
 #include <stdexcept>
 
+#include "mw/batch.hpp"
 #include "sweep/grid.hpp"
 
 namespace {
 
-constexpr const char* kGrid = R"(
-# Table-2-style grid
-workload  exponential:1.0
-tasks     512
-h         0.5
-seed      42
-replicas  7
-sweep technique SS GSS TSS
-sweep workers   2 4
-)";
+constexpr const char* kGrid =
+    "# Table-2-style grid\n"
+    "workload  exponential:1.0\n"
+    "tasks     512\n"
+    "h         0.5\n"
+    "seed      42\n"
+    "replicas  7\n"
+    "sweep technique SS GSS TSS\n"
+    "sweep workers   2 4\n";
 
 TEST(SweepGrid, ExpandsCartesianProduct) {
   const sweep::Grid grid = sweep::parse_grid(kGrid);
@@ -60,7 +60,7 @@ TEST(SweepGrid, CellsGetDecorrelatedDerivedSeeds) {
   std::set<std::uint64_t> seeds;
   for (std::size_t i = 0; i < grid.cells(); ++i) {
     const sweep::Cell c = sweep::cell(grid, i);
-    const mw::BatchJob job = sweep::batch_job(grid, c);
+    const exec::BatchJob job = sweep::batch_job(grid, c);
     // The spec seed is the base; the job seed is the derivation.
     EXPECT_EQ(c.spec.config.seed, 42u);
     EXPECT_EQ(job.config.seed, mw::derive_cell_seed(42, i));
@@ -76,7 +76,7 @@ TEST(SweepGrid, PlainExperimentKeepsItsSeedVerbatim) {
       sweep::parse_grid("technique SS\ntasks 100\nworkers 2\nworkload constant:1\nseed 7\n");
   EXPECT_TRUE(grid.axes.empty());
   EXPECT_EQ(grid.cells(), 1u);
-  const mw::BatchJob job = sweep::batch_job(grid, sweep::cell(grid, 0));
+  const exec::BatchJob job = sweep::batch_job(grid, sweep::cell(grid, 0));
   EXPECT_EQ(job.config.seed, 7u);
 }
 
@@ -84,7 +84,7 @@ TEST(SweepGrid, SeedStrideAndReplicasFlowIntoTheJob) {
   const sweep::Grid grid = sweep::parse_grid(
       "technique SS\ntasks 64\nworkers 2\nworkload constant:1\n"
       "replicas 9\nseed_stride 104729\nsweep h 0.1 0.5\n");
-  const mw::BatchJob job = sweep::batch_job(grid, sweep::cell(grid, 1));
+  const exec::BatchJob job = sweep::batch_job(grid, sweep::cell(grid, 1));
   EXPECT_EQ(job.replicas, 9u);
   EXPECT_EQ(job.seed_stride, 104729u);
   EXPECT_DOUBLE_EQ(job.config.params.h, 0.5);
@@ -128,6 +128,89 @@ TEST(SweepGrid, RejectsBadDirectives) {
       std::invalid_argument);
   // Missing mandatory base keys surface through cell-0 validation.
   EXPECT_THROW((void)sweep::parse_grid("sweep workers 2 4\n"), std::invalid_argument);
+}
+
+TEST(SweepGridBackend, BackendAxisIsCanonicalizedInnermostAndSorted) {
+  // Declared outermost and in "mw hagerup" order; the parser moves the
+  // execution-vehicle axis innermost and sorts its values, so record
+  // order, sharding and merges are declaration-independent.
+  const sweep::Grid grid = sweep::parse_grid(
+      "workload constant:1\ntasks 64\nworkers 2\nseed 42\n"
+      "sweep backend mw hagerup\nsweep technique SS GSS\n");
+  ASSERT_EQ(grid.axes.size(), 2u);
+  EXPECT_EQ(grid.axes[0].key, "technique");
+  EXPECT_EQ(grid.axes[1].key, "backend");
+  EXPECT_EQ(grid.axes[1].values, (std::vector<std::string>{"hagerup", "mw"}));
+  EXPECT_EQ(grid.cells(), 4u);
+  EXPECT_EQ(grid.science_cells(), 2u);
+  EXPECT_EQ(grid.backend_count(), 2u);
+  EXPECT_EQ(grid.science_axes(), 1u);
+
+  // Enumeration: backend fastest -> (SS,hagerup), (SS,mw), (GSS,...).
+  EXPECT_EQ(sweep::cell(grid, 0).spec.backend, "hagerup");
+  EXPECT_EQ(sweep::cell(grid, 1).spec.backend, "mw");
+  EXPECT_EQ(sweep::cell(grid, 2).spec.config.technique, dls::Kind::kGSS);
+  EXPECT_EQ(sweep::cell_backend(grid, 2), "hagerup");
+  EXPECT_EQ(sweep::cell(grid, 3).science_index, 1u);
+}
+
+TEST(SweepGridBackend, BackendVariantsOfACellShareTheDerivedSeed) {
+  // The scientific index drives seed derivation, so every execution
+  // vehicle replays a cell on identical seeds -- and the mw slice is
+  // seeded exactly like the same grid without the backend axis.
+  const sweep::Grid with_axis = sweep::parse_grid(
+      "workload constant:1\ntasks 64\nworkers 2\nseed 42\n"
+      "sweep technique SS GSS TSS\nsweep backend mw hagerup\n");
+  const sweep::Grid without_axis = sweep::parse_grid(
+      "workload constant:1\ntasks 64\nworkers 2\nseed 42\n"
+      "sweep technique SS GSS TSS\n");
+  for (std::size_t science = 0; science < 3; ++science) {
+    const exec::BatchJob hagerup_job =
+        sweep::batch_job(with_axis, sweep::cell(with_axis, 2 * science));
+    const exec::BatchJob mw_job =
+        sweep::batch_job(with_axis, sweep::cell(with_axis, 2 * science + 1));
+    const exec::BatchJob plain_job =
+        sweep::batch_job(without_axis, sweep::cell(without_axis, science));
+    EXPECT_EQ(hagerup_job.backend, "hagerup");
+    EXPECT_EQ(mw_job.backend, "mw");
+    EXPECT_EQ(hagerup_job.config.seed, mw_job.config.seed) << "cell " << science;
+    EXPECT_EQ(mw_job.config.seed, plain_job.config.seed) << "cell " << science;
+    EXPECT_EQ(mw_job.config.seed, mw::derive_cell_seed(42, science));
+  }
+}
+
+TEST(SweepGridBackend, PureBackendSweepKeepsTheSeedVerbatim) {
+  // No scientific axis -> no derivation, exactly like a plain file, so
+  // the vehicles compare on the spec's own seed.
+  const sweep::Grid grid = sweep::parse_grid(
+      "technique SS\ntasks 64\nworkers 2\nworkload constant:1\nseed 7\n"
+      "sweep backend mw hagerup\n");
+  EXPECT_EQ(grid.science_axes(), 0u);
+  EXPECT_EQ(grid.science_cells(), 1u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(sweep::batch_job(grid, sweep::cell(grid, i)).config.seed, 7u);
+  }
+}
+
+TEST(SweepGridBackend, FixedBackendKeyFlowsIntoEveryJob) {
+  const sweep::Grid grid = sweep::parse_grid(
+      "technique SS\ntasks 64\nworkers 2\nworkload constant:1\nbackend hagerup\n"
+      "sweep h 0.1 0.5\n");
+  EXPECT_EQ(grid.backend_axis(), nullptr);
+  EXPECT_EQ(grid.fixed_backend, "hagerup");
+  EXPECT_EQ(sweep::cell_backend(grid, 1), "hagerup");
+  EXPECT_EQ(sweep::batch_job(grid, sweep::cell(grid, 1)).backend, "hagerup");
+}
+
+TEST(SweepGridBackend, RejectsUnknownBackendValues) {
+  EXPECT_THROW(
+      (void)sweep::parse_grid("technique SS\ntasks 64\nworkers 2\nworkload constant:1\n"
+                              "sweep backend mw simgrid\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)sweep::parse_grid("technique SS\ntasks 64\nworkers 2\nworkload constant:1\n"
+                              "backend banana\n"),
+      std::invalid_argument);
 }
 
 TEST(SweepGrid, OutOfRangeCellThrows) {

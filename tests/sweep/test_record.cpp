@@ -6,7 +6,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "mw/batch.hpp"
 #include "sweep/record.hpp"
 
 namespace {
@@ -19,9 +18,13 @@ sweep::Grid small_grid() {
 
 std::string record_of(const sweep::Grid& grid, std::size_t index) {
   const sweep::Cell c = sweep::cell(grid, index);
-  const mw::BatchJob job = sweep::batch_job(grid, c);
-  const mw::BatchResult result = mw::BatchRunner().run_one(job);
+  const exec::BatchJob job = sweep::batch_job(grid, c);
+  const exec::BatchResult result = exec::BatchRunner().run_one(job);
   return sweep::render_record(grid, c, job, result);
+}
+
+sweep::RecordKey key(std::size_t cell, const char* backend = "mw") {
+  return sweep::RecordKey{cell, backend};
 }
 
 TEST(SweepRecord, RenderIsDeterministicAndSelfDescribing) {
@@ -30,7 +33,11 @@ TEST(SweepRecord, RenderIsDeterministicAndSelfDescribing) {
   const std::string b = record_of(grid, 2);
   EXPECT_EQ(a, b);  // byte-identical re-render: the merge/resume contract
   EXPECT_EQ(sweep::record_cell_index(a), 2u);
+  EXPECT_EQ(sweep::record_backend(a), "mw");  // resolved vehicle, top-level
+  EXPECT_EQ(sweep::record_key(a), key(2));
   EXPECT_NE(a.find("\"of\":4"), std::string::npos) << a;
+  EXPECT_NE(a.find("\"backend\":\"mw\""), std::string::npos) << a;
+  EXPECT_NE(a.find("\"replicas\":3"), std::string::npos) << a;
   EXPECT_NE(a.find("\"sweep\":{\"technique\":\"GSS\",\"workers\":\"2\"}"), std::string::npos)
       << a;
   // Extended summary statistics are present.
@@ -45,7 +52,7 @@ TEST(SweepRecord, ExperimentEchoReplaysTheCell) {
   // derived seed, stride, replicas and the swept overrides applied.
   const sweep::Grid grid = small_grid();
   const sweep::Cell c = sweep::cell(grid, 3);
-  const mw::BatchJob job = sweep::batch_job(grid, c);
+  const exec::BatchJob job = sweep::batch_job(grid, c);
   const std::string record = record_of(grid, 3);
 
   const std::string needle = "\"experiment\":\"";
@@ -76,7 +83,7 @@ TEST(SweepRecord, ScanCollectsCompleteRecords) {
   std::stringstream file;
   file << record_of(grid, 0) << "\n" << record_of(grid, 2) << "\n";
   const sweep::ScanResult scanned = sweep::scan_records(file);
-  EXPECT_EQ(scanned.done, (std::set<std::size_t>{0, 2}));
+  EXPECT_EQ(scanned.done, (std::set<sweep::RecordKey>{key(0), key(2)}));
   EXPECT_EQ(scanned.lines.size(), 2u);
   EXPECT_FALSE(scanned.dropped_partial_tail);
 }
@@ -89,7 +96,7 @@ TEST(SweepRecord, ScanDropsTruncatedFinalLine) {
   std::stringstream file;
   file << full << "\n" << partial;  // no trailing newline either
   const sweep::ScanResult scanned = sweep::scan_records(file);
-  EXPECT_EQ(scanned.done, (std::set<std::size_t>{0}));
+  EXPECT_EQ(scanned.done, (std::set<sweep::RecordKey>{key(0)}));
   EXPECT_TRUE(scanned.dropped_partial_tail);
 }
 

@@ -15,6 +15,10 @@
 
 namespace {
 
+sweep::RecordKey key(std::size_t cell, const char* backend = "mw") {
+  return sweep::RecordKey{cell, backend};
+}
+
 sweep::Grid test_grid() {
   return sweep::parse_grid(
       "workload exponential:1.0\ntasks 128\nh 0.5\nseed 42\nreplicas 4\n"
@@ -73,7 +77,7 @@ TEST(SweepRunner, ResumeAfterTruncatedTailRecomputesOnlyThatCell) {
   damaged << full[0] << '\n' << full[1] << '\n' << full[2].substr(0, full[2].size() / 2);
   const sweep::ScanResult scanned = sweep::scan_records(damaged);
   EXPECT_TRUE(scanned.dropped_partial_tail);
-  EXPECT_EQ(scanned.done, (std::set<std::size_t>{0, 1}));
+  EXPECT_EQ(scanned.done, (std::set<sweep::RecordKey>{key(0), key(1)}));
 
   std::ostringstream resumed;
   for (const std::string& line : scanned.lines) resumed << line << '\n';
@@ -120,13 +124,60 @@ TEST(SweepRunner, ObserverSeesSkipsAndCompletions) {
   const sweep::Grid grid = test_grid();
   std::size_t skipped = 0, completed = 0;
   std::ostringstream out;
-  (void)sweep::SweepRunner().run(grid, {1, 4}, out,
+  (void)sweep::SweepRunner().run(grid, {key(1), key(4)}, out,
                                  [&](const sweep::SweepRunner::CellEvent& event) {
                                    (event.skipped ? skipped : completed) += 1;
                                    EXPECT_EQ(event.cells_total, 6u);
                                  });
   EXPECT_EQ(skipped, 2u);
   EXPECT_EQ(completed, 4u);
+}
+
+TEST(SweepRunner, MaxCellsTruncationResumesAtTheFirstUncomputedCell) {
+  // The max_cells x shard_index x resume interplay: a shard truncated
+  // by max_cells must, on resume, *continue* at its first uncomputed
+  // cell -- skipped already-done cells must not be counted against the
+  // budget (or the shard would recompute nothing and never finish).
+  const sweep::Grid grid = test_grid();  // 6 cells
+  sweep::SweepRunner::Options shard_options;
+  shard_options.shard_index = 0;
+  shard_options.shard_count = 2;  // owns cells 0, 2, 4
+
+  std::ostringstream full;
+  EXPECT_EQ(sweep::SweepRunner(shard_options).run(grid, {}, full), 3u);
+
+  // Three truncated passes of max_cells = 1 must walk 0 -> 2 -> 4.
+  sweep::SweepRunner::Options truncated = shard_options;
+  truncated.max_cells = 1;
+  std::ostringstream out;
+  std::set<sweep::RecordKey> done;
+  for (const std::size_t expected_cell : {0u, 2u, 4u}) {
+    std::vector<std::size_t> computed_cells;
+    const std::size_t computed = sweep::SweepRunner(truncated).run(
+        grid, done, out, [&](const sweep::SweepRunner::CellEvent& event) {
+          if (!event.skipped) computed_cells.push_back(event.cell);
+        });
+    EXPECT_EQ(computed, 1u);
+    ASSERT_EQ(computed_cells.size(), 1u);
+    EXPECT_EQ(computed_cells.front(), expected_cell);
+    std::istringstream scan_input(out.str());
+    done = sweep::scan_records(scan_input).done;
+  }
+  EXPECT_EQ(done.size(), 3u);
+  // A fourth truncated pass has nothing left to compute.
+  EXPECT_EQ(sweep::SweepRunner(truncated).run(grid, done, out), 0u);
+  EXPECT_EQ(out.str(), full.str());  // byte-identical to the untruncated shard
+}
+
+TEST(SweepRunner, OwnedCellsCountsTheShardsShare) {
+  const sweep::Grid grid = test_grid();  // 6 cells
+  sweep::SweepRunner::Options options;
+  options.shard_count = 4;
+  options.shard_index = 1;  // owns cells 1, 5
+  EXPECT_EQ(sweep::SweepRunner(options).owned_cells(grid), 2u);
+  options.shard_index = 3;  // owns cell 3
+  EXPECT_EQ(sweep::SweepRunner(options).owned_cells(grid), 1u);
+  EXPECT_EQ(sweep::SweepRunner().owned_cells(grid), 6u);
 }
 
 TEST(SweepRunner, WriteFailureIsAnErrorNotASilentTruncation) {

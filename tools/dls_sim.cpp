@@ -25,7 +25,9 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
+#include "exec/backend.hpp"
 #include "repro/experiment_file.hpp"
 
 namespace {
@@ -34,11 +36,13 @@ constexpr int kExitRunError = 1;
 constexpr int kExitParseError = 2;
 
 void print_usage(std::ostream& out) {
-  out << "usage: dls_sim <experiment-file | ->\n"
+  out << "usage: dls_sim <experiment-file | -> [--backend <name>]\n"
          "\n"
          "Runs the experiment described by the file (or stdin with '-')\n"
          "and prints the measured values.  See repro/experiment_file.hpp\n"
-         "for the 'key value' format; 'replicas N' batches N seeds.\n";
+         "for the 'key value' format; 'replicas N' batches N seeds.\n"
+         "--backend overrides the spec's execution vehicle\n"
+         "(mw | hagerup | runtime; also an experiment key: 'backend hagerup').\n";
 }
 
 }  // namespace
@@ -48,12 +52,33 @@ int main(int argc, char** argv) {
     print_usage(std::cout);
     return EXIT_SUCCESS;
   }
-  if (argc != 2) {
+  std::string backend_override;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "dls_sim: --backend needs a value\n";
+        return kExitParseError;
+      }
+      backend_override = argv[++i];
+      if (!exec::is_backend_name(backend_override)) {
+        std::cerr << "dls_sim: unknown backend '" << backend_override << "' (known:";
+        for (const std::string& name : exec::backend_names()) std::cerr << " " << name;
+        std::cerr << ")\n";
+        return kExitParseError;
+      }
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      print_usage(std::cerr);
+      return kExitParseError;
+    }
+  }
+  if (path.empty()) {
     print_usage(std::cerr);
     return kExitParseError;
   }
   std::string text;
-  const std::string path = argv[1];
   if (path == "-") {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
@@ -76,6 +101,7 @@ int main(int argc, char** argv) {
     std::cerr << "dls_sim: " << path << ": " << e.what() << "\n";
     return kExitParseError;
   }
+  if (!backend_override.empty()) spec.backend = backend_override;
   try {
     repro::run_experiment(spec, std::cout);
   } catch (const std::exception& e) {

@@ -3,14 +3,22 @@
 // Expands `sweep <key> <v1> <v2> ...` directives in an experiment file
 // (see repro/experiment_file.hpp and sweep/grid.hpp) into the cartesian
 // product of batched experiments, runs each cell through
-// mw::BatchRunner, and streams one JSONL record per completed cell.
+// exec::BatchRunner on the cell's execution backend, and streams one
+// JSONL record per completed (cell, backend).
 //
 //   dls_sweep grid.sweep --out results.jsonl             # run a grid
 //   dls_sweep grid.sweep --out results.jsonl --resume    # continue a killed sweep
 //   dls_sweep grid.sweep --out s0.jsonl --shard 0/3      # machine 0 of 3
 //   dls_sweep merge --out all.jsonl s0.jsonl s1.jsonl s2.jsonl
 //   dls_sweep grid.sweep --list                          # show the cells, don't run
+//   dls_sweep grid.sweep --out r.jsonl --backend hagerup  # fixed execution backend
 //   dls_sweep bench specs.sweep --name BM_E2ESweep --group tasks --json BENCH.json
+//
+// `backend` is both an experiment key and a sweep axis: a spec line
+// `sweep backend mw hagerup` runs every scientific cell on both
+// execution vehicles (same derived seeds, so the vehicles are directly
+// comparable), and the mw records are bitwise identical to a run of
+// the same spec without the axis.
 //
 // Every cell gets a decorrelated base seed (mw::derive_cell_seed,
 // splitmix64 over the cell index), so cells sharing the spec's base
@@ -22,7 +30,9 @@
 // Exit codes: 0 = success, 1 = a simulation/run error, 2 = a parse or
 // usage error (parse errors name the offending line).
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -82,7 +92,14 @@ void parse_shard(const std::string& text, sweep::SweepRunner::Options& options) 
 int run_mode(const support::Flags& flags) {
   sweep::Grid grid;
   try {
-    grid = sweep::parse_grid(read_input(flags.positional()[0]));
+    std::string text = read_input(flags.positional()[0]);
+    if (const std::string backend = flags.get("backend"); !backend.empty()) {
+      // Appended last, so it overrides a fixed `backend` key in the
+      // spec; a `sweep backend ...` axis still wins (axis overrides
+      // are appended after the base text per cell).
+      text += "\nbackend " + backend + "\n";
+    }
+    grid = sweep::parse_grid(text);
   } catch (const std::exception& e) {
     std::cerr << "dls_sweep: " << e.what() << "\n";
     return kExitUsageError;
@@ -101,9 +118,10 @@ int run_mode(const support::Flags& flags) {
   if (flags.get_bool("list")) {
     for (std::size_t i = 0; i < grid.cells(); ++i) {
       const sweep::Cell c = sweep::cell(grid, i);
-      const mw::BatchJob job = sweep::batch_job(grid, c);
-      std::cout << "cell " << i;
+      const exec::BatchJob job = sweep::batch_job(grid, c);
+      std::cout << "cell " << c.science_index;
       for (const auto& [key, value] : c.assignment) std::cout << " " << key << "=" << value;
+      if (grid.backend_axis() == nullptr) std::cout << " backend=" << job.backend;
       std::cout << " seed=" << job.config.seed << " replicas=" << job.replicas << "\n";
     }
     return EXIT_SUCCESS;
@@ -177,14 +195,30 @@ int run_mode(const support::Flags& flags) {
   }
   std::ostream& out = out_path.empty() ? std::cout : file;
 
+  const bool progress = flags.get_bool("progress");
+  std::size_t observed_computed = 0;
+  std::size_t observed_skipped = 0;
+  std::size_t owned_total = 0;  // filled once the runner exists
   const auto observer = [&](const sweep::SweepRunner::CellEvent& event) {
+    (event.skipped ? observed_skipped : observed_computed) += 1;
     if (quiet) return;
-    std::cerr << "dls_sweep: cell " << event.cell << "/" << event.cells_total
-              << (event.skipped ? " already done\n" : " done\n");
+    if (progress) {
+      // One stderr line per owned cell: computed/skipped/owned of this
+      // shard (the SweepRunner::Observer hook, satellite of the grid
+      // service).
+      std::cerr << "dls_sweep: shard " << options.shard_index << "/" << options.shard_count
+                << ": " << (observed_computed + observed_skipped) << "/" << owned_total
+                << " cells (" << observed_computed << " computed, " << observed_skipped
+                << " skipped)\n";
+      return;
+    }
+    std::cerr << "dls_sweep: cell " << event.cell << " [" << event.backend << "] of "
+              << event.cells_total << (event.skipped ? " already done\n" : " done\n");
   };
 
   try {
     const sweep::SweepRunner runner(options);
+    owned_total = runner.owned_cells(grid);
     const std::size_t computed = runner.run(grid, previous.done, out, observer);
     if (!quiet) {
       std::cerr << "dls_sweep: computed " << computed << " cell(s), skipped "
@@ -222,12 +256,25 @@ int merge_mode(const support::Flags& flags) {
     }
     merged = sweep::merge_records(shards);
     if (!merged.empty()) {
-      // Every record carries the grid size; an incomplete merge is
-      // legitimate (shards still running) but must not look complete.
+      // Every record carries the scientific grid size.  An incomplete
+      // merge is legitimate (shards still running) but must not look
+      // complete: warn per observed backend (a backend whose slice is
+      // missing ENTIRELY leaves no record at all, so only the grid
+      // spec itself -- i.e. a --resume run -- can detect that).
       const auto grid_size = sweep::record_grid_size(merged.front());
-      if (grid_size && merged.size() < *grid_size) {
-        std::cerr << "dls_sweep: warning: merged " << merged.size() << " of " << *grid_size
-                  << " cells; the grid is incomplete\n";
+      std::map<std::string, std::size_t> per_backend;
+      for (const std::string& line : merged) {
+        if (const auto backend = sweep::record_backend(line)) ++per_backend[*backend];
+      }
+      if (grid_size) {
+        for (const auto& [backend, count] : per_backend) {
+          if (count < *grid_size) {
+            std::cerr << "dls_sweep: warning: backend " << backend << " has " << count
+                      << " of " << *grid_size
+                      << " cells; the grid is incomplete (a fully absent backend is not "
+                         "detectable here -- verify with --resume against the spec)\n";
+          }
+        }
       }
     }
   } catch (const std::exception& e) {
@@ -300,7 +347,7 @@ int bench_mode(const support::Flags& flags) {
     const std::pair<const char*, unsigned> modes[] = {{"", 1u}, {"Parallel", 0u}};
     for (const auto& [suffix, threads] : modes) {
       for (const std::string& group_value : group_axis->values) {
-        std::vector<mw::BatchJob> jobs;
+        std::vector<exec::BatchJob> jobs;
         std::size_t runs = 0;
         for (std::size_t i = 0; i < grid.cells(); ++i) {
           const sweep::Cell c = sweep::cell(grid, i);
@@ -312,9 +359,9 @@ int bench_mode(const support::Flags& flags) {
           jobs.push_back(sweep::batch_job(grid, c));
           runs += jobs.back().replicas;
         }
-        mw::BatchRunner::Options options;
+        exec::BatchRunner::Options options;
         options.threads = threads;
-        const mw::BatchRunner runner(options);
+        const exec::BatchRunner runner(options);
         double best_seconds = 0.0;
         for (std::size_t r = 0; r < repeats; ++r) {
           const auto start = std::chrono::steady_clock::now();
@@ -360,6 +407,8 @@ int main(int argc, char** argv) {
   flags.define("max-cells", "0", "stop after computing N new cells (0 = no limit)");
   flags.define("list", "false", "print the expanded cells and exit");
   flags.define("quiet", "false", "suppress per-cell progress on stderr");
+  flags.define("progress", "false", "stderr progress line per cell (computed/skipped/owned)");
+  flags.define("backend", "", "fixed execution backend (mw | hagerup | runtime); a 'sweep backend ...' axis overrides");
   flags.define("name", "", "[bench] benchmark name prefix, e.g. BM_E2ESweep");
   flags.define("group", "", "[bench] sweep axis to group timing entries by");
   flags.define("json", "", "[bench] output path for the dls-bench-v1 JSON");
