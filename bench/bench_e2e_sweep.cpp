@@ -5,8 +5,9 @@
 //
 // BM_E2ESweep pins the runner to one thread so it measures the serve
 // path itself (this is the number tracked in BENCH_e2e_sweep.json);
-// BM_E2ESweepParallel uses the default thread pool and shows the
-// batch-scaling headroom.
+// BM_E2ESweepParallel sweeps the persistent pool's width (second
+// benchmark argument: 1/2/4 threads) so the committed artifact records
+// the batch-scaling trajectory, not a single opaque "parallel" number.
 //
 // Record a baseline with either pipeline:
 //   bench_e2e_sweep --benchmark_format=json > raw.json
@@ -88,8 +89,17 @@ void run_sweep(benchmark::State& state, unsigned threads) {
 void BM_E2ESweep(benchmark::State& state) { run_sweep(state, /*threads=*/1); }
 BENCHMARK(BM_E2ESweep)->Unit(benchmark::kMillisecond)->Arg(65536)->Arg(131072);
 
-void BM_E2ESweepParallel(benchmark::State& state) { run_sweep(state, /*threads=*/0); }
-BENCHMARK(BM_E2ESweepParallel)->Unit(benchmark::kMillisecond)->Arg(65536)->Arg(131072);
+void BM_E2ESweepParallel(benchmark::State& state) {
+  run_sweep(state, static_cast<unsigned>(state.range(1)));
+}
+BENCHMARK(BM_E2ESweepParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgsProduct({{65536, 131072}, {1, 2, 4}})
+    // Work happens on pool threads: rates must come from wall clock,
+    // not the benchmark thread's CPU time (which shrinks with width
+    // and would fake a speedup), matching the dls_sweep bench
+    // pipeline's runs-per-real-second.
+    ->UseRealTime();
 
 }  // namespace
 

@@ -366,14 +366,24 @@ std::optional<std::string> check_batch_determinism(const Scenario& scenario,
   job.config.record_chunk_log = false;
   job.replicas = replicas;
 
-  auto run_with = [&](unsigned threads) {
+  // The threaded arm runs on its OWN executor: the fuzzer drives
+  // scenarios from inside a shared-pool region, and a nested region on
+  // the same pool would collapse to an inline serial loop (the pool's
+  // safe re-entry rule) -- silently turning this into serial-vs-serial.
+  // A private pool keeps the comparison genuinely scheduling-sensitive
+  // (per-slot caches, out-of-order replica completion); static, so the
+  // 10k-scenario fuzz suites don't pay a thread spawn/join per call
+  // (concurrent fuzzer workers serialize on its region mutex).
+  static pool::Executor threaded_pool(3);
+  auto run_with = [&](unsigned threads, pool::Executor* executor) {
     exec::BatchRunner::Options options;
     options.threads = threads;
     options.keep_values = true;
+    options.executor = executor;
     return exec::BatchRunner(options).run_one(job);
   };
-  const exec::BatchResult serial = run_with(1);
-  const exec::BatchResult threaded = run_with(3);
+  const exec::BatchResult serial = run_with(1, nullptr);
+  const exec::BatchResult threaded = run_with(3, &threaded_pool);
 
   auto summaries_differ = [](const stats::Summary& a, const stats::Summary& b) {
     return a.count != b.count || a.mean != b.mean || a.stddev != b.stddev || a.min != b.min ||

@@ -269,6 +269,10 @@ std::unique_ptr<Backend> make_backend(std::string_view name, const BackendOption
                               ")");
 }
 
+bool backend_is_virtual(std::string_view name, const BackendOptions& options) {
+  return make_backend(name, options)->virtual_time();
+}
+
 BackendRun from_mw(const mw::Config& config, mw::RunResult result) {
   BackendRun run;
   run.backend = "mw";

@@ -1,55 +1,29 @@
 #include "exec/batch.hpp"
 
 #include <algorithm>
-#include <map>
-#include <memory>
-#include <mutex>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
-#include "support/parallel_for.hpp"
-
 namespace exec {
-namespace {
 
-/// LIFO pools of Backend instances keyed by backend name, shared by the
-/// batch's worker threads.  A thread working through consecutive
-/// replicas of a job gets the same instance back each time (engine and
-/// buffer reuse); the pool -- and all cached engines -- is released
-/// when the batch ends, instead of pinning the memory to thread
-/// lifetimes.  The lock is per replica, negligible against a run.
-class BackendPool {
- public:
-  explicit BackendPool(const BackendOptions& options) : options_(options) {}
+Backend& BatchRunner::slot_backend(unsigned slot, const std::string& name) const {
+  auto& cache = slots_[slot];
+  const auto it = cache.find(name);
+  if (it != cache.end()) return *it->second;
+  return *cache.emplace(name, make_backend(name, options_.backend)).first->second;
+}
 
-  [[nodiscard]] std::unique_ptr<Backend> acquire(const std::string& name) {
-    {
-      const std::scoped_lock lock(mutex_);
-      std::vector<std::unique_ptr<Backend>>& free = free_[name];
-      if (!free.empty()) {
-        std::unique_ptr<Backend> backend = std::move(free.back());
-        free.pop_back();
-        return backend;
-      }
-    }
-    return make_backend(name, options_);
-  }
+std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs,
+                                          const JobCallback& on_complete) const {
+  pool::Executor& executor =
+      options_.executor != nullptr ? *options_.executor : pool::Executor::shared();
+  const unsigned threads = options_.threads != 0 ? options_.threads : executor.width();
+  // Slot 0 (the calling thread) always exists; the wall-clock probe
+  // and the serial paths below use it before the pool is sized.
+  if (slots_.empty()) slots_.resize(1);
 
-  void release(std::unique_ptr<Backend> backend) {
-    const std::scoped_lock lock(mutex_);
-    free_[std::string(backend->name())].push_back(std::move(backend));
-  }
-
- private:
-  std::mutex mutex_;
-  std::map<std::string, std::vector<std::unique_ptr<Backend>>> free_;
-  BackendOptions options_;
-};
-
-}  // namespace
-
-std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const {
   // Flatten (job, replica) into one index space so threads stay busy
   // across job boundaries (a grid's last job must not serialize).
   // Wall-clock backends (runtime) are excluded from the parallel pool:
@@ -58,7 +32,7 @@ std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const 
   // run-to-run noise; they execute one at a time afterwards.
   std::vector<std::size_t> offsets(jobs.size() + 1, 0);
   std::vector<bool> wall_clock(jobs.size(), false);
-  std::map<std::string, bool> is_wall_clock;
+  std::map<std::string, bool, std::less<>> is_wall_clock;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     if (jobs[j].replicas == 0) {
       // Reject rather than return an all-zero Summary that renders as
@@ -74,12 +48,30 @@ std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const 
     if (it != is_wall_clock.end()) {
       wall_clock[j] = it->second;
     } else {
-      wall_clock[j] = !make_backend(jobs[j].backend, options_.backend)->virtual_time();
+      // Probe via the slot-0 cache, so the probe instance is the one
+      // the serial paths will reuse instead of a throwaway.
+      wall_clock[j] = !slot_backend(0, jobs[j].backend).virtual_time();
       is_wall_clock.emplace(jobs[j].backend, wall_clock[j]);
     }
     offsets[j + 1] = offsets[j] + jobs[j].replicas;
   }
   const std::size_t total = offsets.back();
+
+  // Size the pool -- and the per-slot backend caches -- only for what
+  // this batch can actually use: min(threads, claimable grains).  A
+  // run_one() on a big machine must not spawn (and park forever) a
+  // full-width worker set for a region that will run inline; the lazy
+  // pool stays lazy for small batches.  The caches must cover every
+  // slot the pool can hand out (slot IDs are stable per thread, not
+  // per region) and are sized BEFORE the region, with slots_.size()
+  // passed as the region's slot cap; existing entries -- and their
+  // cached engines -- survive across run() calls.
+  const std::size_t grain = std::max<std::size_t>(options_.grain, 1);
+  const std::size_t grains = (total + grain - 1) / grain;
+  const unsigned region_threads =
+      static_cast<unsigned>(std::min<std::size_t>(threads, grains));
+  executor.reserve(region_threads);
+  if (slots_.size() < executor.slot_count()) slots_.resize(executor.slot_count());
 
   struct PerReplica {
     std::vector<double> makespan;
@@ -88,53 +80,22 @@ std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const 
     std::vector<double> chunks;
   };
   std::vector<PerReplica> values(jobs.size());
+  // Count down the outstanding replicas per job so the thread that
+  // finishes a job's last replica can summarize and commit it while
+  // the rest of the batch is still running (the sweep's streaming
+  // in-order committer hangs off this).  acq_rel on the decrement
+  // orders every replica's value stores before the summarize.
+  std::vector<std::atomic<std::size_t>> remaining(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     values[j].makespan.resize(jobs[j].replicas);
     values[j].wasted.resize(jobs[j].replicas);
     values[j].speedup.resize(jobs[j].replicas);
     values[j].chunks.resize(jobs[j].replicas);
-  }
-
-  BackendPool backends(options_.backend);
-  auto run_replica = [&](std::size_t job_index, std::size_t replica) {
-    const BatchJob& job = jobs[job_index];
-    mw::Config cfg = job.config;
-    cfg.seed = job.config.seed + job.seed_stride * replica;
-    std::unique_ptr<Backend> backend = backends.acquire(job.backend);
-    const Measured measured = backend->measure(cfg);
-    // A throwing run already invalidated the backend's cached
-    // engine, so returning it to the pool is always safe; if the
-    // exception propagates the instance is simply dropped.
-    backends.release(std::move(backend));
-
-    PerReplica& out = values[job_index];
-    out.makespan[replica] = measured.makespan;
-    out.wasted[replica] = measured.avg_wasted_time;
-    out.speedup[replica] = measured.speedup;
-    out.chunks[replica] = measured.chunks;
-  };
-
-  support::parallel_for(
-      total,
-      [&](std::size_t flat) {
-        const std::size_t job_index = static_cast<std::size_t>(
-            std::upper_bound(offsets.begin(), offsets.end(), flat) - offsets.begin() - 1);
-        if (wall_clock[job_index]) return;  // serialized below
-        run_replica(job_index, flat - offsets[job_index]);
-      },
-      options_.threads, options_.grain);
-
-  // Wall-clock replicas, one at a time: each spawns its own worker
-  // threads, and its timings are the measurement.
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    if (!wall_clock[j]) continue;
-    for (std::size_t replica = 0; replica < jobs[j].replicas; ++replica) {
-      run_replica(j, replica);
-    }
+    remaining[j].store(jobs[j].replicas, std::memory_order_relaxed);
   }
 
   std::vector<BatchResult> results(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
+  auto finish_job = [&](std::size_t j) {
     BatchResult& r = results[j];
     r.makespan = stats::summarize(values[j].makespan);
     r.avg_wasted_time = stats::summarize(values[j].wasted);
@@ -144,7 +105,49 @@ std::vector<BatchResult> BatchRunner::run(std::span<const BatchJob> jobs) const 
       r.makespan_values = std::move(values[j].makespan);
       r.wasted_values = std::move(values[j].wasted);
     }
+    if (on_complete) on_complete(j, r);
+  };
+
+  auto run_replica = [&](std::size_t job_index, std::size_t replica, unsigned slot) {
+    const BatchJob& job = jobs[job_index];
+    mw::Config cfg = job.config;
+    cfg.seed = job.config.seed + job.seed_stride * replica;
+    // A throwing run already invalidated the backend's cached engine,
+    // so the cached instance stays safe to reuse either way.
+    const Measured measured = slot_backend(slot, job.backend).measure(cfg);
+
+    PerReplica& out = values[job_index];
+    out.makespan[replica] = measured.makespan;
+    out.wasted[replica] = measured.avg_wasted_time;
+    out.speedup[replica] = measured.speedup;
+    out.chunks[replica] = measured.chunks;
+    if (remaining[job_index].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      finish_job(job_index);
+    }
+  };
+
+  executor.parallel_for_slots(
+      total,
+      [&](std::size_t flat, unsigned slot) {
+        const std::size_t job_index = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), flat) - offsets.begin() - 1);
+        if (wall_clock[job_index]) return;  // serialized below
+        run_replica(job_index, flat - offsets[job_index], slot);
+      },
+      threads, options_.grain,
+      // Cap the region at the slots the caches cover: another thread
+      // may grow the pool between the resize above and this region.
+      static_cast<unsigned>(slots_.size()));
+
+  // Wall-clock replicas, one at a time: each spawns its own worker
+  // threads, and its timings are the measurement.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (!wall_clock[j]) continue;
+    for (std::size_t replica = 0; replica < jobs[j].replicas; ++replica) {
+      run_replica(j, replica, /*slot=*/0);
+    }
   }
+
   return results;
 }
 

@@ -106,6 +106,14 @@ struct BackendOptions {
 [[nodiscard]] std::unique_ptr<Backend> make_backend(std::string_view name,
                                                     const BackendOptions& options = {});
 
+/// Whether the named backend has virtual-time semantics
+/// (Backend::virtual_time()).  The single classification both
+/// exec::BatchRunner (which defers wall-clock jobs to a serial phase)
+/// and sweep::SweepRunner (which segments its worklist at wall-clock
+/// cells) key off -- they must never diverge, or the sweep's in-order
+/// committer stalls buffering behind a job the batch deferred.
+[[nodiscard]] bool backend_is_virtual(std::string_view name, const BackendOptions& options = {});
+
 /// Adapters from the native result types (used by the backends, the
 /// check tests, and anyone holding a raw simulator result).
 [[nodiscard]] BackendRun from_mw(const mw::Config& config, mw::RunResult result);

@@ -1,12 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "exec/backend.hpp"
 #include "mw/config.hpp"
+#include "pool/executor.hpp"
 #include "stats/summary.hpp"
 
 namespace exec {
@@ -45,24 +49,33 @@ struct BatchResult {
 /// configurations N times each" through.
 ///
 /// The replicas of all virtual-time jobs are flattened into one index
-/// space and claimed from a thread pool via support::parallel_for;
-/// every thread keeps one exec::Backend *per backend name*, so
-/// consecutive runs on a thread reuse the backend's engines and
-/// buffers (mw::RunContext, hagerup::RunContext, the cached runtime
-/// executor) instead of reallocating them.  Wall-clock jobs (runtime)
-/// are excluded from the pool and run one replica at a time -- each
-/// replica spawns its own worker threads and its timings ARE the
-/// measurement, so co-running replicas would measure contention, not
-/// run-to-run noise.  Results are deterministic for deterministic
-/// backends: each replica is seeded purely by (job, replica index),
-/// independent of thread scheduling.
+/// space and claimed from a persistent pool::Executor (an external one
+/// via Options::executor, else the process-wide shared pool -- no
+/// per-call thread spawn).  Every executor slot keeps one
+/// exec::Backend *per backend name*, and those caches live for the
+/// runner's lifetime: consecutive run() calls (e.g. the consecutive
+/// cells of a sweep) reuse the backends' engines and buffers
+/// (mw::RunContext, hagerup::RunContext, the cached runtime executor)
+/// instead of reallocating them.  Wall-clock jobs (runtime) are
+/// excluded from the pool and run one replica at a time -- each replica
+/// spawns its own worker threads and its timings ARE the measurement,
+/// so co-running replicas would measure contention, not run-to-run
+/// noise.  Results are deterministic for deterministic backends: each
+/// replica is seeded purely by (job, replica index), independent of
+/// thread scheduling.
+///
+/// A BatchRunner is NOT thread-safe: one run() at a time per instance
+/// (the slot caches assume a single driving thread per region).
 class BatchRunner {
  public:
   struct Options {
-    unsigned threads = 0;      ///< 0 = support::default_thread_count()
+    unsigned threads = 0;      ///< 0 = the executor's width
     std::size_t grain = 1;     ///< replicas claimed per atomic grab
     bool keep_values = false;  ///< retain per-replica series in the results
     BackendOptions backend;    ///< backend construction knobs
+    /// Externally-owned executor to run on (must outlive the runner);
+    /// nullptr = pool::Executor::shared().
+    pool::Executor* executor = nullptr;
   };
 
   BatchRunner() = default;
@@ -70,15 +83,31 @@ class BatchRunner {
 
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Invoked as each job completes (all of its replicas done), from
+  /// whichever thread finished the job's last replica -- jobs complete
+  /// in unspecified order, so an on_complete that writes output must
+  /// order (and lock) itself; see sweep::SweepRunner's in-order
+  /// committer.  Throwing from the callback cancels the batch and
+  /// rethrows on the calling thread, like a throwing replica.
+  using JobCallback = std::function<void(std::size_t job, const BatchResult& result)>;
+
   /// Run all jobs; result i aggregates jobs[i].  Throws
   /// std::invalid_argument for zero-replica jobs and unknown backends
   /// before running anything.
-  [[nodiscard]] std::vector<BatchResult> run(std::span<const BatchJob> jobs) const;
+  [[nodiscard]] std::vector<BatchResult> run(std::span<const BatchJob> jobs,
+                                             const JobCallback& on_complete = {}) const;
   /// Convenience for a single job.
   [[nodiscard]] BatchResult run_one(const BatchJob& job) const;
 
  private:
+  [[nodiscard]] Backend& slot_backend(unsigned slot, const std::string& name) const;
+
   Options options_;
+  /// Per-slot Backend instances, keyed by backend name; slot s is only
+  /// ever touched by the executor participant holding slot ID s, so no
+  /// lock is needed.  mutable: the caches are perf state, not results
+  /// -- run() stays const for the many `const BatchRunner` call sites.
+  mutable std::vector<std::map<std::string, std::unique_ptr<Backend>, std::less<>>> slots_;
 };
 
 }  // namespace exec

@@ -1,0 +1,198 @@
+#include "pool/executor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pool {
+namespace {
+
+/// The executor whose region this thread is currently inside (caller or
+/// worker).  A nested region on the same executor must run inline: the
+/// pool's threads are all busy with the outer region, so waiting for
+/// them would deadlock.
+thread_local const Executor* tls_region_owner = nullptr;
+
+struct RegionOwnerScope {
+  const Executor* previous;
+  explicit RegionOwnerScope(const Executor* owner) : previous(tls_region_owner) {
+    tls_region_owner = owner;
+  }
+  ~RegionOwnerScope() { tls_region_owner = previous; }
+};
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("DLS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+Executor::Executor(unsigned threads)
+    : width_(threads != 0 ? threads : default_thread_count()) {}
+
+Executor::~Executor() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  // std::jthread joins on destruction of workers_.
+}
+
+unsigned Executor::width() const { return width_.load(std::memory_order_relaxed); }
+
+unsigned Executor::slot_count() const {
+  const std::scoped_lock lock(mutex_);
+  return static_cast<unsigned>(workers_.size()) + 1;
+}
+
+void Executor::spawn_workers_locked(unsigned target_workers) {
+  while (workers_.size() < target_workers) {
+    const unsigned slot = static_cast<unsigned>(workers_.size()) + 1;
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+void Executor::reserve(unsigned threads) {
+  const std::scoped_lock lock(mutex_);
+  if (threads > width_.load(std::memory_order_relaxed)) {
+    width_.store(threads, std::memory_order_relaxed);
+  }
+  if (threads > 1) spawn_workers_locked(threads - 1);
+}
+
+void Executor::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                            unsigned threads, std::size_t grain) {
+  run_region(
+      count, grain, threads, /*slot_limit=*/0,
+      [](const void* f, std::size_t index, unsigned) {
+        (*static_cast<const std::function<void(std::size_t)>*>(f))(index);
+      },
+      &body);
+}
+
+void Executor::parallel_for_slots(std::size_t count,
+                                  const std::function<void(std::size_t, unsigned)>& body,
+                                  unsigned threads, std::size_t grain, unsigned slot_limit) {
+  run_region(
+      count, grain, threads, slot_limit,
+      [](const void* f, std::size_t index, unsigned slot) {
+        (*static_cast<const std::function<void(std::size_t, unsigned)>*>(f))(index, slot);
+      },
+      &body);
+}
+
+void Executor::run_region(std::size_t count, std::size_t grain, unsigned threads,
+                          unsigned slot_limit,
+                          void (*invoke)(const void*, std::size_t, unsigned),
+                          const void* body) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (threads == 0) threads = width_.load(std::memory_order_relaxed);
+  const std::size_t grains = (count + grain - 1) / grain;
+  const unsigned participants =
+      static_cast<unsigned>(std::min<std::size_t>(threads, grains));
+
+  if (participants <= 1 || tls_region_owner == this) {
+    // Serial fast path, and the safe re-entry rule: a region started
+    // from inside another region of this pool runs inline (its threads
+    // are busy with the outer region; waiting for them would deadlock).
+    // Inline bodies always observe slot 0: the nested caller IS the
+    // region's only participant, and per-slot state belongs to the
+    // nested structure driving this region (e.g. its own BatchRunner),
+    // not to the outer region's.
+    for (std::size_t i = 0; i < count; ++i) invoke(body, i, 0);
+    return;
+  }
+
+  // Whole regions are serialized across calling threads; the common
+  // single-caller case never contends here.
+  const std::scoped_lock region_lock(region_mutex_);
+  const RegionOwnerScope scope(this);
+
+  Region region;
+  region.count = count;
+  region.grain = grain;
+  region.invoke = invoke;
+  region.body = body;
+  region.max_workers = participants - 1;
+  region.slot_limit = slot_limit;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (threads > width_.load(std::memory_order_relaxed)) {
+      width_.store(threads, std::memory_order_relaxed);
+    }
+    spawn_workers_locked(participants - 1);
+    region_ = &region;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  work(region, /*slot=*/0);
+
+  {
+    std::unique_lock lock(mutex_);
+    region_ = nullptr;  // no further joins; parked workers stay parked
+    done_cv_.wait(lock, [&] { return region.active == 0; });
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+void Executor::work(Region& region, unsigned slot) {
+  for (;;) {
+    const std::size_t begin = region.next.fetch_add(region.grain, std::memory_order_relaxed);
+    if (begin >= region.count || region.failed.load(std::memory_order_relaxed)) return;
+    const std::size_t end = std::min(begin + region.grain, region.count);
+    for (std::size_t i = begin; i < end; ++i) {
+      // Re-check inside the grain: a sweep that failed elsewhere must
+      // not keep simulating up to grain-1 extra replicas per thread.
+      if (region.failed.load(std::memory_order_relaxed)) return;
+      try {
+        region.invoke(region.body, i, slot);
+      } catch (...) {
+        const std::scoped_lock lock(region.error_mutex);
+        if (!region.error) region.error = std::current_exception();
+        region.failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void Executor::worker_main(unsigned slot) {
+  const RegionOwnerScope scope(this);  // nested use from a worker runs inline
+  std::uint64_t seen_generation = 0;
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] {
+      return stop_ || (region_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Region* region = region_;
+    if (region->joined >= region->max_workers) continue;  // region has enough hands
+    // A capped region never hands out a slot the caller did not size
+    // per-slot state for (the pool may have grown since the caller
+    // sampled slot_count()).
+    if (region->slot_limit != 0 && slot >= region->slot_limit) continue;
+    ++region->joined;
+    ++region->active;
+    lock.unlock();
+    work(*region, slot);
+    lock.lock();
+    // The region object lives on the caller's stack; the caller cannot
+    // leave run_region until active drains to 0 under this mutex.
+    if (--region->active == 0) done_cv_.notify_all();
+  }
+}
+
+Executor& Executor::shared() {
+  static Executor executor;
+  return executor;
+}
+
+}  // namespace pool

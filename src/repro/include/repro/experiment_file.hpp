@@ -31,7 +31,7 @@ namespace repro {
 ///   rand48    false
 ///   replicas  1               # > 1 batches independent seeds (exec::BatchRunner)
 ///   seed_stride 1             # replica r runs with seed + seed_stride * r
-///   threads   0               # worker threads for replicas (0 = hardware)
+///   threads   0               # pool width for the replicas (0 = hardware)
 ///   backend   mw              # execution vehicle: mw | hagerup | runtime
 ///
 /// A `sweep <key> <v1> <v2> ...` line is a grid directive, not an

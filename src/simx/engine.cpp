@@ -78,18 +78,33 @@ Engine::~Engine() {
   }
 }
 
-Context& Engine::spawn(std::string name, Host& host,
-                       const std::function<Actor(Context&)>& body) {
-  auto control = std::make_unique<detail::ActorControl>();
+std::unique_ptr<detail::ActorControl> Engine::acquire_control(std::string name, Host& host) {
+  std::unique_ptr<detail::ActorControl> control;
+  if (!spare_controls_.empty()) {
+    control = std::move(spare_controls_.back());
+    spare_controls_.pop_back();
+    control->handle = {};
+    control->exception = nullptr;
+    control->finished = false;
+    control->finished_at = 0.0;
+    control->state = ActorState::kReady;
+    control->accrued = {};
+  } else {
+    control = std::make_unique<detail::ActorControl>();
+    control->engine = this;
+    control->context = std::make_unique<Context>(*this, *control);
+  }
   control->name = std::move(name);
   control->host = &host;
-  control->engine = this;
   control->last_transition = now_;
-  control->context = std::make_unique<Context>(*this, *control);
-  Actor actor = body(*control->context);
-  control->handle = actor.release();
-  control->handle.promise().control = control.get();
-  schedule_resume(now_, control->handle);
+  return control;
+}
+
+Context& Engine::register_actor(std::unique_ptr<detail::ActorControl> control,
+                                Actor::Handle handle) {
+  control->handle = handle;
+  handle.promise().control = control.get();
+  schedule_resume(now_, handle);
   actors_.push_back(std::move(control));
   return *actors_.back()->context;
 }
@@ -118,7 +133,14 @@ SimTime Engine::run() {
 void Engine::reset() {
   if (running_) throw std::logic_error("Engine::reset is not allowed during run()");
   for (auto& control : actors_) {
-    if (control->handle) control->handle.destroy();
+    if (control->handle) {
+      control->handle.destroy();
+      control->handle = {};
+    }
+    // Recycle the bookkeeping: the next run's spawns reuse the control,
+    // its Context, and the name string's capacity instead of paying
+    // two allocations per actor per replica.
+    spare_controls_.push_back(std::move(control));
   }
   actors_.clear();
   events_.clear();  // keeps the heap's capacity

@@ -1,31 +1,32 @@
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace support {
 
 /// Number of worker threads to use by default: hardware concurrency,
 /// overridable via the DLS_THREADS environment variable (useful for
 /// deterministic CI runs and for the benches' --threads flag).
+/// Forwards to pool::default_thread_count().
 [[nodiscard]] unsigned default_thread_count();
 
-/// Run `body(i)` for i in [0, count) across a transient thread pool.
+/// Run `body(i)` for i in [0, count) on the process-wide persistent
+/// thread pool (pool::Executor::shared()) -- a thin shim kept for the
+/// original call sites; new code that wants per-thread slot state
+/// should use pool::Executor directly.
 ///
 /// The repetition dimension of every experiment (1000 independent
 /// simulation runs per configuration in the BOLD reproduction) is
 /// embarrassingly parallel: each run owns its engine and RNG, seeded by
 /// the run index, so scheduling order across threads cannot change any
 /// result.  Work is claimed via an atomic counter in blocks of
-/// `grain` indices to avoid contention for cheap bodies.
-///
-/// The first exception thrown by any body is captured and rethrown on
-/// the calling thread after all workers have stopped.
+/// `grain` indices to avoid contention for cheap bodies.  The contract
+/// is unchanged from the transient-pool era: every index runs exactly
+/// once, order unspecified, and the first exception thrown by any body
+/// is captured (cancelling the rest, mid-grain included) and rethrown
+/// on the calling thread -- but the threads themselves now persist and
+/// park between calls instead of being spawned and joined per call.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned threads = 0, std::size_t grain = 1);
 

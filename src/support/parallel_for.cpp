@@ -1,65 +1,14 @@
 #include "support/parallel_for.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <string>
+#include "pool/executor.hpp"
 
 namespace support {
 
-unsigned default_thread_count() {
-  if (const char* env = std::getenv("DLS_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+unsigned default_thread_count() { return pool::default_thread_count(); }
 
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   unsigned threads, std::size_t grain) {
-  if (count == 0) return;
-  if (threads == 0) threads = default_thread_count();
-  grain = std::max<std::size_t>(grain, 1);
-  const unsigned nthreads =
-      static_cast<unsigned>(std::min<std::size_t>(threads, (count + grain - 1) / grain));
-
-  if (nthreads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr error;
-  std::mutex error_mutex;
-  std::atomic<bool> failed{false};
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
-      if (begin >= count || failed.load(std::memory_order_relaxed)) return;
-      const std::size_t end = std::min(begin + grain, count);
-      for (std::size_t i = begin; i < end; ++i) {
-        // Re-check inside the grain: a sweep that failed elsewhere must
-        // not keep simulating up to grain-1 extra replicas per thread.
-        if (failed.load(std::memory_order_relaxed)) return;
-        try {
-          body(i);
-        } catch (...) {
-          const std::scoped_lock lock(error_mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    }
-  };
-
-  std::vector<std::jthread> pool;
-  pool.reserve(nthreads);
-  for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
-  pool.clear();  // join
-
-  if (error) std::rethrow_exception(error);
+  pool::Executor::shared().parallel_for(count, body, threads, grain);
 }
 
 }  // namespace support

@@ -52,6 +52,25 @@ struct RecordKey {
                                         const exec::BatchJob& job,
                                         const exec::BatchResult& result);
 
+/// Renders the records of ONE grid with the invariant pieces built
+/// once per batch instead of once per record: the `"of"`/grid-size
+/// fragment is formatted at construction, and the `experiment` echo is
+/// assembled from the cell and job already in hand -- the free
+/// function's cell_experiment_text path re-expands (re-parses) the
+/// cell and re-derives its job for every record it renders.
+/// Byte-identical output to render_record (pinned by the golden sweep
+/// tests); the free function delegates here.
+class RecordRenderer {
+ public:
+  explicit RecordRenderer(const Grid& grid);
+
+  [[nodiscard]] std::string render(const Cell& cell, const exec::BatchJob& job,
+                                   const exec::BatchResult& result) const;
+
+ private:
+  std::string of_fragment_;  ///< ",\"of\":<science cells>" -- invariant per grid
+};
+
 /// The "cell" field of a record line; nullopt if the line is not a
 /// complete record (e.g. truncated by a mid-write kill).
 [[nodiscard]] std::optional<std::size_t> record_cell_index(std::string_view line);

@@ -3,9 +3,11 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <set>
 #include <string_view>
 
+#include "exec/batch.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/record.hpp"
 
@@ -14,17 +16,33 @@ namespace sweep {
 /// Shards a grid over exec::BatchRunner and streams one JSONL record
 /// per completed (cell, backend) (see sweep/record.hpp).  Cells are
 /// visited in canonical index order (backend axis innermost,
-/// name-sorted); each cell's replicas run in parallel through the batch
-/// runner on the cell's resolved backend, and the record is flushed
-/// before the next cell starts, so a killed sweep loses at most the
-/// cell in flight.  Combined with scan_records this makes a sweep
-/// resumable: pass the scanned `done` set and completed cells are
-/// skipped instead of recomputed.
+/// name-sorted).
+///
+/// The whole owned worklist -- every (science cell x backend x replica)
+/// of the shard -- is flattened into ONE claimable index space on the
+/// persistent thread pool, so the pool parallelizes *across* cells,
+/// not just within one: the last replicas of cell k and the first
+/// replicas of cell k+1 run concurrently, and one BatchRunner (with
+/// its per-slot backend engine caches) serves the entire pass.
+/// Wall-clock `runtime` cells stay serialized (their timings are the
+/// measurement; see exec::BatchRunner).
+///
+/// Output order is untouched by the parallelism: an in-order committer
+/// buffers out-of-order cell completions and writes each record in
+/// canonical order, flushed as soon as its turn arrives -- so a
+/// multi-threaded sweep's output stream is byte-identical to the
+/// single-threaded run of the same spec, and the resume/shard/merge
+/// invariants hold unchanged.  Combined with scan_records this makes a
+/// sweep resumable: pass the scanned `done` set and completed cells
+/// are skipped instead of recomputed.  (A kill now loses the cells in
+/// flight -- up to the thread count -- instead of exactly one; resume
+/// recomputes them.)
 class SweepRunner {
  public:
   struct Options {
-    /// Worker threads per cell; 0 = the cell spec's `threads` key
-    /// (which itself defaults to the hardware concurrency).
+    /// Width of the thread pool the flattened (cell x replica) space
+    /// is claimed from; 0 = the cell specs' `threads` key (which
+    /// itself defaults to the hardware concurrency).
     unsigned threads = 0;
     /// This process runs the cells with (science_index + backend
     /// position) % shard_count == shard_index -- diagonal round-robin,
@@ -33,7 +51,8 @@ class SweepRunner {
     /// (a plain `index % shard_count` would hand entire backend slices
     /// to single shards whenever shard_count divides the backend
     /// count, e.g. 2 shards x 2 backends).  Grids without a backend
-    /// axis shard exactly as before (index % shard_count).
+    /// axis shard exactly as before (index % shard_count).  See
+    /// sweep/stripe.hpp.
     std::size_t shard_index = 0;
     std::size_t shard_count = 1;
     /// Stop after computing this many new cells (0 = no limit).  Cells
@@ -44,7 +63,9 @@ class SweepRunner {
     std::size_t max_cells = 0;
   };
 
-  /// Progress callback, invoked once per owned cell.
+  /// Progress callback, invoked once per owned cell.  Skip events fire
+  /// during the worklist scan; computed events fire in canonical cell
+  /// order as records are committed.
   struct CellEvent {
     std::size_t cell = 0;          ///< scientific cell index
     std::string_view backend;      ///< resolved backend of this record
@@ -64,12 +85,20 @@ class SweepRunner {
 
   /// Run the grid, skipping records in `done` (and cells owned by
   /// other shards); append one record line per computed cell to `out`.
-  /// Returns the number of cells computed.
+  /// Returns the number of cells computed.  Consecutive run() calls on
+  /// one SweepRunner reuse the same BatchRunner, so the per-slot
+  /// backend engines stay warm across passes.
   std::size_t run(const Grid& grid, const std::set<RecordKey>& done, std::ostream& out,
                   const Observer& observer = {}) const;
 
  private:
+  [[nodiscard]] exec::BatchRunner& batch_runner(unsigned threads) const;
+
   Options options_;
+  /// The persistent batch runner (per-slot backend caches live here);
+  /// rebuilt only when the resolved thread count changes.
+  mutable std::unique_ptr<exec::BatchRunner> batch_;
+  mutable unsigned batch_threads_ = 0;
 };
 
 }  // namespace sweep

@@ -159,10 +159,13 @@ std::size_t grid_index_of(const Grid& grid, const RecordKey& key) {
   return key.cell;
 }
 
-std::string render_record(const Grid& grid, const Cell& cell, const exec::BatchJob& job,
-                          const exec::BatchResult& result) {
+RecordRenderer::RecordRenderer(const Grid& grid)
+    : of_fragment_(",\"of\":" + std::to_string(grid.science_cells())) {}
+
+std::string RecordRenderer::render(const Cell& cell, const exec::BatchJob& job,
+                                   const exec::BatchResult& result) const {
   std::string out = "{\"cell\":" + std::to_string(cell.science_index);
-  out += ",\"of\":" + std::to_string(grid.science_cells());
+  out += of_fragment_;
   out += ",\"backend\":\"" + json_escape(job.backend) + '"';
   out += ",\"replicas\":" + std::to_string(job.replicas);
   out += ",\"sweep\":{";
@@ -175,13 +178,25 @@ std::string render_record(const Grid& grid, const Cell& cell, const exec::BatchJ
   }
   out += "},\"seed\":" + std::to_string(job.config.seed);
   out += ",\"seed_stride\":" + std::to_string(job.seed_stride);
-  out += ",\"experiment\":\"" + json_escape(cell_experiment_text(grid, cell.index)) + '"';
+  // The replayable echo, from the parsed cell and derived job already
+  // in hand (what cell_experiment_text recomputes from scratch).
+  repro::ExperimentSpec echo = cell.spec;
+  echo.config.seed = job.config.seed;
+  echo.seed_stride = job.seed_stride;
+  echo.replicas = job.replicas;
+  echo.backend = job.backend;
+  out += ",\"experiment\":\"" + json_escape(repro::serialize_experiment_spec(echo)) + '"';
   out += ",\"makespan\":" + summary_json(result.makespan);
   out += ",\"avg_wasted_time\":" + summary_json(result.avg_wasted_time);
   out += ",\"speedup\":" + summary_json(result.speedup);
   out += ",\"chunks\":" + summary_json(result.chunks);
   out += '}';
   return out;
+}
+
+std::string render_record(const Grid& grid, const Cell& cell, const exec::BatchJob& job,
+                          const exec::BatchResult& result) {
+  return RecordRenderer(grid).render(cell, job, result);
 }
 
 std::optional<std::size_t> record_cell_index(std::string_view line) {

@@ -1,8 +1,15 @@
 #include "sweep/runner.hpp"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <ostream>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "sweep/stripe.hpp"
 
 namespace sweep {
 
@@ -18,63 +25,146 @@ SweepRunner::SweepRunner(Options options) : options_(options) {
   }
 }
 
-namespace {
-
-/// Diagonal shard assignment: science index + backend position, so a
-/// backend axis never degenerates into one-backend shards (see
-/// SweepRunner::Options::shard_index).
-std::size_t shard_of(const Grid& grid, std::size_t index, std::size_t shard_count) {
-  const std::size_t backends = grid.backend_count();
-  return (index / backends + index % backends) % shard_count;
+std::size_t SweepRunner::owned_cells(const Grid& grid) const {
+  return owned_index_count(grid, options_.shard_index, options_.shard_count);
 }
 
-}  // namespace
-
-std::size_t SweepRunner::owned_cells(const Grid& grid) const {
-  const std::size_t total = grid.cells();
-  std::size_t owned = 0;
-  for (std::size_t index = 0; index < total; ++index) {
-    if (shard_of(grid, index, options_.shard_count) == options_.shard_index) ++owned;
+exec::BatchRunner& SweepRunner::batch_runner(unsigned threads) const {
+  if (batch_ == nullptr || batch_threads_ != threads) {
+    exec::BatchRunner::Options batch_options;
+    batch_options.threads = threads;
+    batch_ = std::make_unique<exec::BatchRunner>(batch_options);
+    batch_threads_ = threads;
   }
-  return owned;
+  return *batch_;
 }
 
 std::size_t SweepRunner::run(const Grid& grid, const std::set<RecordKey>& done,
                              std::ostream& out, const Observer& observer) const {
   const std::size_t total = grid.cells();
-  std::size_t computed = 0;
-  for (std::size_t index = 0; index < total; ++index) {
-    if (shard_of(grid, index, options_.shard_count) != options_.shard_index) continue;
-    const std::string_view backend = cell_backend(grid, index);
-    const std::size_t science = index / grid.backend_count();
-    if (done.contains(RecordKey{science, std::string(backend)})) {
-      // Skips do not count toward max_cells: a resumed, previously
-      // truncated shard continues at the first *uncomputed* cell.
-      if (observer) observer(CellEvent{science, backend, total, /*skipped=*/true});
-      continue;
-    }
-    if (options_.max_cells != 0 && computed >= options_.max_cells) break;
+  const std::size_t backends = grid.backend_count();
 
-    const Cell c = cell(grid, index);
-    const exec::BatchJob job = batch_job(grid, c);
-    exec::BatchRunner::Options batch_options;
-    batch_options.threads = options_.threads != 0 ? options_.threads : c.spec.threads;
-    const exec::BatchResult result = exec::BatchRunner(batch_options).run_one(job);
+  // Pass 1 -- build the worklist: walk the owned stripe in canonical
+  // order, announce skips, and stop at the max_cells budget (at the
+  // first *uncomputed* cell past it, exactly like the serial runner:
+  // a resumed, previously truncated shard continues where it left off).
+  std::vector<std::size_t> work;  // full cell indices to compute
+  for_each_owned_index(grid, options_.shard_index, options_.shard_count,
+                       [&](std::size_t index) {
+                         const std::string_view backend = cell_backend(grid, index);
+                         const std::size_t science = index / backends;
+                         if (done.contains(RecordKey{science, std::string(backend)})) {
+                           if (observer) {
+                             observer(CellEvent{science, backend, total, /*skipped=*/true});
+                           }
+                           return true;
+                         }
+                         if (options_.max_cells != 0 && work.size() >= options_.max_cells) {
+                           return false;
+                         }
+                         work.push_back(index);
+                         return true;
+                       });
+  if (work.empty()) return 0;
 
-    // One line per cell, flushed before the next cell starts: a kill
-    // loses at most the cell in flight (and a partial final line, which
-    // scan_records drops on resume).
-    out << render_record(grid, c, job, result) << '\n' << std::flush;
-    if (!out) {
-      // A full disk or write error must not let the sweep report
-      // success over a truncated output.
-      throw std::runtime_error("sweep: writing the record for cell " + std::to_string(science) +
-                               " (backend " + job.backend + ") failed (disk full?)");
+  // Pass 2 -- run the worklist in WINDOWS, each a flattened
+  // (cell x replica) parallel batch with an in-order committer: within
+  // a window, completions arrive in any order but every record is
+  // rendered, written and flushed in canonical order the moment its
+  // turn arrives; windows themselves run back to back in canonical
+  // order -- so the byte stream (and the resume guarantee that a
+  // prefix of it is valid) is identical to a single-threaded run.
+  //
+  // Window boundaries serve two limits.  (1) Wall-clock (runtime)
+  // cells are each their own single-cell window: BatchRunner would
+  // serialize their replicas anyway (the timings ARE the measurement)
+  // but defers them to the END of a batch, which would stall the
+  // commit frontier and silently buffer every later record -- losing
+  // far more than the in-flight cells on a kill.  (2) Virtual-time
+  // runs are capped at kWindowCells so the expanded cells, jobs and
+  // rendered-record buffers stay O(window), not O(owned cells) -- a
+  // million-cell shard must not materialize a million ExperimentSpecs
+  // before its first record lands.  Classification needs only the
+  // cell's backend NAME (cell_backend -- no spec parse), shared with
+  // the batch runner via exec::backend_is_virtual.
+  constexpr std::size_t kWindowCells = 1024;
+  const RecordRenderer renderer(grid);
+  std::map<std::string, bool, std::less<>> virtual_backend;
+  const auto is_virtual = [&](std::string_view name) {
+    auto it = virtual_backend.find(name);  // heterogeneous lookup, no copy
+    if (it == virtual_backend.end()) {
+      it = virtual_backend.emplace(std::string(name), exec::backend_is_virtual(name)).first;
     }
-    ++computed;
-    if (observer) observer(CellEvent{science, backend, total, /*skipped=*/false});
+    return it->second;
+  };
+
+  std::size_t window_begin = 0;
+  while (window_begin < work.size()) {
+    std::size_t window_end = window_begin + 1;
+    if (is_virtual(cell_backend(grid, work[window_begin]))) {
+      while (window_end < work.size() && window_end - window_begin < kWindowCells &&
+             is_virtual(cell_backend(grid, work[window_end]))) {
+        ++window_end;
+      }
+    }
+    const std::size_t count = window_end - window_begin;
+
+    // Expand this window's cells and jobs (lazily -- see above).
+    std::vector<Cell> cells;
+    std::vector<exec::BatchJob> jobs;
+    cells.reserve(count);
+    jobs.reserve(count);
+    unsigned spec_threads = 0;
+    bool any_default_threads = false;
+    for (std::size_t w = window_begin; w < window_end; ++w) {
+      cells.push_back(cell(grid, work[w]));
+      jobs.push_back(batch_job(grid, cells.back()));
+      if (cells.back().spec.threads == 0) any_default_threads = true;
+      spec_threads = std::max(spec_threads, cells.back().spec.threads);
+    }
+    // Pool width: --threads wins; otherwise the specs' `threads` keys
+    // (any cell asking for the hardware default promotes the window,
+    // since one pool serves the whole flattened index space).
+    const unsigned threads =
+        options_.threads != 0 ? options_.threads : (any_default_threads ? 0 : spec_threads);
+
+    std::mutex commit_mutex;
+    std::vector<std::string> rendered(count);
+    std::vector<bool> ready(count, false);
+    std::size_t frontier = 0;
+    const auto commit = [&](std::size_t j, const exec::BatchResult& result) {
+      // Render outside the lock: it touches only j-local data and the
+      // const renderer, and it's the expensive part -- only the
+      // frontier bookkeeping and the ordered write need serializing.
+      std::string line = renderer.render(cells[j], jobs[j], result);
+      const std::scoped_lock lock(commit_mutex);
+      rendered[j] = std::move(line);
+      ready[j] = true;
+      while (frontier < count && ready[frontier]) {
+        out << rendered[frontier] << '\n' << std::flush;
+        if (!out) {
+          // A full disk or write error must not let the sweep report
+          // success over a truncated output.
+          throw std::runtime_error(
+              "sweep: writing the record for cell " +
+              std::to_string(cells[frontier].science_index) + " (backend " +
+              jobs[frontier].backend + ") failed (disk full?)");
+        }
+        rendered[frontier].clear();
+        rendered[frontier].shrink_to_fit();
+        if (observer) {
+          observer(CellEvent{cells[frontier].science_index,
+                             cell_backend(grid, work[window_begin + frontier]), total,
+                             /*skipped=*/false});
+        }
+        ++frontier;
+      }
+    };
+
+    (void)batch_runner(threads).run(std::span<const exec::BatchJob>(jobs), commit);
+    window_begin = window_end;
   }
-  return computed;
+  return work.size();
 }
 
 }  // namespace sweep

@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 #include "exec/batch.hpp"
+#include "pool/executor.hpp"
 #include "hagerup/simulator.hpp"
 #include "mw/batch.hpp"
 #include "mw/metrics.hpp"
@@ -175,6 +178,68 @@ TEST(BatchSeeding, SingleJobWithExplicitStrideIsUnchanged) {
     EXPECT_DOUBLE_EQ(batched.makespan_values[r], mw::run_simulation(cfg).makespan)
         << "replica " << r;
   }
+}
+
+TEST(BatchRunner, ExternalExecutorAndRepeatedRunsAreDeterministic) {
+  // An externally-owned pool (Options::executor) must give the same
+  // results as the shared one, and consecutive run() calls on one
+  // runner -- which reuse the per-slot backend caches and their warm
+  // engines -- must reproduce the first call bitwise.
+  pool::Executor executor(4);
+  exec::BatchRunner::Options options;
+  options.executor = &executor;
+  options.keep_values = true;
+  const exec::BatchRunner runner(options);
+  const std::vector<exec::BatchJob> jobs = {make_job(Kind::kGSS, 4, 256, 6),
+                                            make_job(Kind::kBOLD, 8, 512, 5)};
+  const auto first = runner.run(jobs);
+  const auto second = runner.run(jobs);  // warm caches, same bytes
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t j = 0; j < first.size(); ++j) {
+    EXPECT_EQ(first[j].makespan_values, second[j].makespan_values);
+    EXPECT_EQ(first[j].wasted_values, second[j].wasted_values);
+  }
+  const auto shared_pool = exec::BatchRunner(exec::BatchRunner::Options{.keep_values = true})
+                               .run(jobs);
+  for (std::size_t j = 0; j < first.size(); ++j) {
+    EXPECT_EQ(first[j].makespan_values, shared_pool[j].makespan_values);
+  }
+}
+
+TEST(BatchRunner, CompletionCallbackFiresOncePerJobWithFinalResults) {
+  const std::vector<exec::BatchJob> jobs = {make_job(Kind::kSS, 2, 128, 3),
+                                            make_job(Kind::kTSS, 4, 256, 4),
+                                            make_job(Kind::kFAC2, 2, 128, 2)};
+  exec::BatchRunner::Options options;
+  options.threads = 4;
+  std::mutex mutex;
+  std::vector<int> calls(jobs.size(), 0);
+  std::vector<exec::BatchResult> streamed(jobs.size());
+  const auto results = exec::BatchRunner(options).run(
+      jobs, [&](std::size_t j, const exec::BatchResult& r) {
+        const std::scoped_lock lock(mutex);
+        calls[j] += 1;
+        streamed[j] = r;
+      });
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(calls[j], 1) << "job " << j;
+    EXPECT_EQ(streamed[j].makespan.mean, results[j].makespan.mean);
+    EXPECT_EQ(streamed[j].makespan.count, jobs[j].replicas);
+  }
+}
+
+TEST(BatchRunner, SerialRunsInvokeTheCallbackInJobOrder) {
+  // threads = 1 is the streaming path dls_sweep's committer relies on
+  // being already ordered: jobs complete strictly in index order.
+  const std::vector<exec::BatchJob> jobs = {make_job(Kind::kSS, 2, 128, 2),
+                                            make_job(Kind::kGSS, 2, 128, 2),
+                                            make_job(Kind::kTSS, 2, 128, 2)};
+  exec::BatchRunner::Options options;
+  options.threads = 1;
+  std::vector<std::size_t> order;
+  (void)exec::BatchRunner(options).run(
+      jobs, [&](std::size_t j, const exec::BatchResult&) { order.push_back(j); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2}));
 }
 
 TEST(BatchRunner, RejectsUnknownBackends) {

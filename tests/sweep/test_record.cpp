@@ -47,6 +47,24 @@ TEST(SweepRecord, RenderIsDeterministicAndSelfDescribing) {
   EXPECT_NE(a.find("\"ci95_hi\":"), std::string::npos);
 }
 
+TEST(SweepRecord, RendererMatchesTheFreeFunctionAndTheValidationPath) {
+  // RecordRenderer builds the experiment echo from the cell and job in
+  // hand instead of re-expanding the cell; its bytes must stay
+  // identical to render_record AND to cell_experiment_text (what
+  // validate_records_for_grid compares resumed records against).
+  const sweep::Grid grid = small_grid();
+  const sweep::RecordRenderer renderer(grid);
+  for (std::size_t index = 0; index < grid.cells(); ++index) {
+    const sweep::Cell c = sweep::cell(grid, index);
+    const exec::BatchJob job = sweep::batch_job(grid, c);
+    const exec::BatchResult result = exec::BatchRunner().run_one(job);
+    const std::string line = renderer.render(c, job, result);
+    EXPECT_EQ(line, sweep::render_record(grid, c, job, result));
+    EXPECT_EQ(sweep::record_experiment(line), sweep::cell_experiment_text(grid, index));
+    EXPECT_NO_THROW(sweep::validate_records_for_grid(grid, {line}));
+  }
+}
+
 TEST(SweepRecord, ExperimentEchoReplaysTheCell) {
   // The escaped `experiment` field must parse back to the exact run:
   // derived seed, stride, replicas and the swept overrides applied.

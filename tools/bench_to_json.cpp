@@ -17,6 +17,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/bench_json.hpp"
@@ -98,6 +99,13 @@ std::vector<BenchEntry> parse_benchmarks(std::istream& in) {
     if (const auto name = field(line, "name")) {
       current = BenchEntry{};
       current->name = *name;
+      // UseRealTime() benches carry a "/real_time" name suffix; strip
+      // it so both BENCH pipelines (this one and `dls_sweep bench`)
+      // emit the same entry names for the same measurement.
+      constexpr std::string_view kRealTimeSuffix = "/real_time";
+      if (current->name.ends_with(kRealTimeSuffix)) {
+        current->name.resize(current->name.size() - kRealTimeSuffix.size());
+      }
       continue;
     }
     if (!current) continue;

@@ -46,6 +46,7 @@
 #include "support/flags.hpp"
 #include "sweep/record.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/stripe.hpp"
 
 namespace {
 
@@ -116,14 +117,18 @@ int run_mode(const support::Flags& flags) {
   }
 
   if (flags.get_bool("list")) {
-    for (std::size_t i = 0; i < grid.cells(); ++i) {
-      const sweep::Cell c = sweep::cell(grid, i);
-      const exec::BatchJob job = sweep::batch_job(grid, c);
-      std::cout << "cell " << c.science_index;
-      for (const auto& [key, value] : c.assignment) std::cout << " " << key << "=" << value;
-      if (grid.backend_axis() == nullptr) std::cout << " backend=" << job.backend;
-      std::cout << " seed=" << job.config.seed << " replicas=" << job.replicas << "\n";
-    }
+    // Same striped walk the runner owns its cells by, so
+    // `--list --shard i/m` previews exactly what that shard will run.
+    sweep::for_each_owned_index(
+        grid, options.shard_index, options.shard_count, [&](std::size_t i) {
+          const sweep::Cell c = sweep::cell(grid, i);
+          const exec::BatchJob job = sweep::batch_job(grid, c);
+          std::cout << "cell " << c.science_index;
+          for (const auto& [key, value] : c.assignment) std::cout << " " << key << "=" << value;
+          if (grid.backend_axis() == nullptr) std::cout << " backend=" << job.backend;
+          std::cout << " seed=" << job.config.seed << " replicas=" << job.replicas << "\n";
+          return true;
+        });
     return EXIT_SUCCESS;
   }
 
@@ -341,43 +346,60 @@ int bench_mode(const support::Flags& flags) {
 
   std::vector<support::BenchJsonEntry> entries;
   try {
+    const auto jobs_of_group = [&](const std::string& group_value) {
+      std::vector<exec::BatchJob> jobs;
+      for (std::size_t i = 0; i < grid.cells(); ++i) {
+        const sweep::Cell c = sweep::cell(grid, i);
+        bool in_group = false;
+        for (const auto& [key, value] : c.assignment) {
+          in_group |= (key == group_key && value == group_value);
+        }
+        if (in_group) jobs.push_back(sweep::batch_job(grid, c));
+      }
+      return jobs;
+    };
+    const auto time_entry = [&](const std::string& entry_name,
+                                const std::vector<exec::BatchJob>& jobs, unsigned threads) {
+      std::size_t runs = 0;
+      for (const exec::BatchJob& job : jobs) runs += job.replicas;
+      exec::BatchRunner::Options options;
+      options.threads = threads;
+      const exec::BatchRunner runner(options);
+      double best_seconds = 0.0;
+      for (std::size_t r = 0; r < repeats; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto results = runner.run(jobs);
+        const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+        if (results.empty()) throw std::invalid_argument("empty benchmark group");
+        if (r == 0 || elapsed.count() < best_seconds) best_seconds = elapsed.count();
+      }
+      support::BenchJsonEntry entry;
+      entry.name = entry_name;
+      entry.real_time_ms = best_seconds * 1e3;
+      entry.items_per_second = static_cast<double>(runs) / best_seconds;
+      entries.push_back(entry);
+      std::cerr << "dls_sweep: " << entry.name << " " << entry.real_time_ms << " ms ("
+                << jobs.size() << " cells, " << runs << " runs)\n";
+    };
+    // Expand each group's jobs once; the serial and the three parallel
+    // timings reuse the same list.
+    std::vector<std::vector<exec::BatchJob>> group_jobs;
+    group_jobs.reserve(group_axis->values.size());
+    for (const std::string& group_value : group_axis->values) {
+      group_jobs.push_back(jobs_of_group(group_value));
+    }
     // Serial entries (threads = 1, the serve-path number tracked in
-    // BENCH_e2e_sweep.json) first, then the parallel ones -- the same
-    // order google-benchmark produced for the committed artifact.
-    const std::pair<const char*, unsigned> modes[] = {{"", 1u}, {"Parallel", 0u}};
-    for (const auto& [suffix, threads] : modes) {
-      for (const std::string& group_value : group_axis->values) {
-        std::vector<exec::BatchJob> jobs;
-        std::size_t runs = 0;
-        for (std::size_t i = 0; i < grid.cells(); ++i) {
-          const sweep::Cell c = sweep::cell(grid, i);
-          bool in_group = false;
-          for (const auto& [key, value] : c.assignment) {
-            in_group |= (key == group_key && value == group_value);
-          }
-          if (!in_group) continue;
-          jobs.push_back(sweep::batch_job(grid, c));
-          runs += jobs.back().replicas;
-        }
-        exec::BatchRunner::Options options;
-        options.threads = threads;
-        const exec::BatchRunner runner(options);
-        double best_seconds = 0.0;
-        for (std::size_t r = 0; r < repeats; ++r) {
-          const auto start = std::chrono::steady_clock::now();
-          const auto results = runner.run(jobs);
-          const std::chrono::duration<double> elapsed =
-              std::chrono::steady_clock::now() - start;
-          if (results.empty()) throw std::invalid_argument("empty benchmark group");
-          if (r == 0 || elapsed.count() < best_seconds) best_seconds = elapsed.count();
-        }
-        support::BenchJsonEntry entry;
-        entry.name = name + suffix + "/" + group_value;
-        entry.real_time_ms = best_seconds * 1e3;
-        entry.items_per_second = static_cast<double>(runs) / best_seconds;
-        entries.push_back(entry);
-        std::cerr << "dls_sweep: " << entry.name << " " << entry.real_time_ms << " ms ("
-                  << jobs.size() << " cells, " << runs << " runs)\n";
+    // BENCH_e2e_sweep.json) first, then the parallel thread-count sweep
+    // (pool width 1/2/4, thread count outermost) -- the same order
+    // google-benchmark's ArgsProduct registration produces for the
+    // committed artifact.
+    for (std::size_t g = 0; g < group_jobs.size(); ++g) {
+      time_entry(name + "/" + group_axis->values[g], group_jobs[g], 1);
+    }
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      for (std::size_t g = 0; g < group_jobs.size(); ++g) {
+        time_entry(name + "Parallel/" + group_axis->values[g] + "/" + std::to_string(threads),
+                   group_jobs[g], threads);
       }
     }
   } catch (const std::exception& e) {
@@ -403,9 +425,11 @@ int main(int argc, char** argv) {
   flags.define("resume", "false", "skip cells already present in --out");
   flags.define("overwrite", "false", "discard an existing --out instead of refusing");
   flags.define("shard", "0/1", "own the cells with index mod count == index (e.g. 1/4)");
-  flags.define("threads", "0", "worker threads per cell (0 = spec / hardware)");
+  flags.define("threads", "0",
+               "width of the persistent pool the whole sweep (all cells x replicas) is "
+               "claimed from (0 = spec / hardware); output is byte-identical at any width");
   flags.define("max-cells", "0", "stop after computing N new cells (0 = no limit)");
-  flags.define("list", "false", "print the expanded cells and exit");
+  flags.define("list", "false", "print the expanded cells (of this --shard) and exit");
   flags.define("quiet", "false", "suppress per-cell progress on stderr");
   flags.define("progress", "false", "stderr progress line per cell (computed/skipped/owned)");
   flags.define("backend", "", "fixed execution backend (mw | hagerup | runtime); a 'sweep backend ...' axis overrides");
