@@ -1,0 +1,629 @@
+#include "dist/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sweep/grid.hpp"
+#include "sweep/record.hpp"
+#include "sweep/shard_io.hpp"
+#include "sweep/stripe.hpp"
+
+namespace dist {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t npos = LeaseEvent::npos;
+
+[[nodiscard]] std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Blocking full write with EINTR retry; false on EPIPE/any error.
+[[nodiscard]] bool write_all(int fd, const std::string& text) {
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int to_worker = -1;    ///< worker's stdin
+  int from_worker = -1;  ///< worker's stdout
+  std::string rx;        ///< partial-line receive buffer
+  bool alive = false;
+  bool ready = false;
+  std::size_t lease = npos;  ///< stripe currently held
+  Clock::time_point last_msg;
+};
+
+struct StripeState {
+  enum class Status { pending, leased, done };
+  Status status = Status::pending;
+  std::size_t attempts = 0;  ///< lease attempts granted so far
+  std::vector<std::size_t> prior_attempts;  ///< attempts that left a temp file
+  Clock::time_point ready_at;               ///< backoff gate for the next lease
+  std::size_t holder = npos;
+};
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open spec " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+[[nodiscard]] std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) throw std::runtime_error(errno_message("readlink /proc/self/exe"));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+/// The full run state; a helper class so the kill-children cleanup is
+/// RAII (any throw out of run() must not leak worker processes).
+class Run {
+ public:
+  explicit Run(const CoordinatorOptions& options) : options_(options) {}
+
+  ~Run() {
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      ::kill(worker.pid, SIGKILL);
+      close_fds(worker);
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+      worker.alive = false;
+    }
+  }
+
+  CoordinatorReport run() {
+    setup();
+    spawn_workers();
+    supervise();
+    shutdown_workers();
+    merge();
+    log({.kind = "complete"});
+    return report_;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------
+
+  void setup() {
+    // SIGPIPE from a dead worker's stdin must be an EPIPE, not a
+    // coordinator death.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    spec_text_ = read_file(options_.spec_path);
+    std::string grid_text = spec_text_;
+    if (!options_.backend.empty()) grid_text += "\nbackend " + options_.backend + "\n";
+    try {
+      grid_ = sweep::parse_grid(grid_text);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("spec: ") + e.what());
+    }
+
+    if (options_.workers == 0) throw std::runtime_error("coordinate: workers must be >= 1");
+    stripes_ = options_.stripes != 0 ? options_.stripes : 4 * options_.workers;
+    stripes_ = std::max<std::size_t>(1, std::min(stripes_, grid_.cells()));
+    report_.stripes = stripes_;
+
+    if (::mkdir(options_.workdir.c_str(), 0755) != 0 && errno != EEXIST) {
+      throw std::runtime_error(errno_message("mkdir " + options_.workdir));
+    }
+    const std::string events_path =
+        options_.events_path.empty() ? options_.workdir + "/events.jsonl" : options_.events_path;
+    events_.open(events_path, std::ios::app);
+    if (!events_) throw std::runtime_error("cannot write events log " + events_path);
+
+    stripe_states_.resize(stripes_);
+    const Clock::time_point now = Clock::now();
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      StripeState& stripe = stripe_states_[s];
+      stripe.ready_at = now;
+      // Coordinator restart: adopt stripes a previous run published,
+      // and resume past attempt files a previous run left behind.
+      if (stripe_file_complete(s)) {
+        stripe.status = StripeState::Status::done;
+        report_.adopted += 1;
+        log({.kind = "adopt", .stripe = s});
+        continue;
+      }
+      for (std::size_t a = 0; a < options_.max_attempts; ++a) {
+        if (::access(stripe_attempt_path(options_.workdir, s, a).c_str(), F_OK) == 0) {
+          stripe.prior_attempts.push_back(a);
+          stripe.attempts = a + 1;
+        }
+      }
+    }
+  }
+
+  void spawn_workers() {
+    std::vector<std::string> command = options_.worker_command;
+    if (command.empty()) command = {self_exe()};
+
+    workers_.resize(options_.workers);
+    for (std::size_t w = 0; w < options_.workers; ++w) {
+      std::vector<std::string> argv = command;
+      argv.insert(argv.end(), {"work", options_.spec_path, "--dir", options_.workdir});
+      argv.insert(argv.end(), {"--threads", std::to_string(options_.worker_threads)});
+      argv.insert(argv.end(),
+                  {"--heartbeat-ms", std::to_string(options_.heartbeat_interval.count())});
+      if (!options_.backend.empty()) argv.insert(argv.end(), {"--backend", options_.backend});
+      for (const ChaosKill& kill : options_.chaos) {
+        if (kill.worker != w) continue;
+        argv.insert(argv.end(), {"--chaos-after", std::to_string(kill.after_cells)});
+        argv.insert(argv.end(), {"--chaos-mode", std::string(chaos_mode_name(kill.mode))});
+      }
+
+      int to_child[2];    // coordinator writes -> child stdin
+      int from_child[2];  // child stdout -> coordinator reads
+      if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+        throw std::runtime_error(errno_message("pipe"));
+      }
+
+      std::vector<char*> c_argv;
+      c_argv.reserve(argv.size() + 1);
+      for (std::string& arg : argv) c_argv.push_back(arg.data());
+      c_argv.push_back(nullptr);
+
+      const pid_t pid = ::fork();
+      if (pid < 0) throw std::runtime_error(errno_message("fork"));
+      if (pid == 0) {
+        // Child: wire the pipes to stdin/stdout and exec the worker.
+        // Only async-signal-safe calls between fork and exec.
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        ::execv(c_argv[0], c_argv.data());
+        ::_exit(127);
+      }
+      ::close(to_child[0]);
+      ::close(from_child[1]);
+      // The child ends stay blocking; the coordinator's read end is
+      // nonblocking so one chatty worker cannot stall the loop, and
+      // both ends close on exec so later workers don't inherit them.
+      ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+      ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
+      ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+
+      WorkerProc& worker = workers_[w];
+      worker.pid = pid;
+      worker.to_worker = to_child[1];
+      worker.from_worker = from_child[0];
+      worker.alive = true;
+      worker.last_msg = Clock::now();
+      log({.kind = "spawn", .worker = w});
+    }
+  }
+
+  // ---- supervision loop --------------------------------------------
+
+  [[nodiscard]] bool all_done() const {
+    return std::all_of(stripe_states_.begin(), stripe_states_.end(), [](const StripeState& s) {
+      return s.status == StripeState::Status::done;
+    });
+  }
+
+  void supervise() {
+    while (!all_done()) {
+      dispatch();
+      if (!all_done() && live_workers() == 0) {
+        throw std::runtime_error(
+            "coordinate: every worker died; " + std::to_string(pending_stripes()) +
+            " stripe(s) unfinished (their partial shard files are kept in " + options_.workdir +
+            " -- re-running the coordinator resumes them)");
+      }
+      poll_once();
+      check_deadlines();
+    }
+  }
+
+  [[nodiscard]] std::size_t live_workers() const {
+    return static_cast<std::size_t>(
+        std::count_if(workers_.begin(), workers_.end(), [](const WorkerProc& w) { return w.alive; }));
+  }
+
+  [[nodiscard]] std::size_t pending_stripes() const {
+    return static_cast<std::size_t>(std::count_if(
+        stripe_states_.begin(), stripe_states_.end(),
+        [](const StripeState& s) { return s.status != StripeState::Status::done; }));
+  }
+
+  void dispatch() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      StripeState& stripe = stripe_states_[s];
+      if (stripe.status != StripeState::Status::pending || stripe.ready_at > now) continue;
+      const std::size_t w = find_idle_worker();
+      if (w == npos) return;
+      grant_lease(w, s);
+    }
+  }
+
+  [[nodiscard]] std::size_t find_idle_worker() const {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].alive && workers_[w].ready && workers_[w].lease == npos) return w;
+    }
+    return npos;
+  }
+
+  void grant_lease(std::size_t w, std::size_t s) {
+    StripeState& stripe = stripe_states_[s];
+    LeaseMsg lease;
+    lease.stripe = s;
+    lease.stripe_count = stripes_;
+    lease.attempt = stripe.attempts;
+    lease.resume_attempts = stripe.prior_attempts;
+    if (!write_all(workers_[w].to_worker, encode(CoordinatorMsg(lease)) + "\n")) {
+      // The pipe is already broken: the worker is dead but its EOF has
+      // not been read yet.  Let the poll loop reap it; the stripe
+      // stays pending.
+      return;
+    }
+    stripe.status = StripeState::Status::leased;
+    stripe.holder = w;
+    stripe.attempts += 1;
+    workers_[w].lease = s;
+    if (stripe.attempts > 1) report_.retries += 1;
+    log({.kind = "lease", .worker = w, .stripe = s, .attempt = lease.attempt});
+  }
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_workers;
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w].alive) continue;
+      fds.push_back(pollfd{workers_[w].from_worker, POLLIN, 0});
+      fd_workers.push_back(w);
+    }
+    const int timeout_ms = static_cast<int>(std::clamp<std::int64_t>(poll_timeout().count(), 1, 200));
+    const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      throw std::runtime_error(errno_message("poll"));
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      read_worker(fd_workers[i]);
+    }
+  }
+
+  /// Sleep no longer than the next actionable instant: the earliest
+  /// worker deadline or stripe backoff expiry.
+  [[nodiscard]] std::chrono::milliseconds poll_timeout() const {
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next = now + std::chrono::milliseconds(200);
+    for (const WorkerProc& worker : workers_) {
+      if (worker.alive) next = std::min(next, worker.last_msg + options_.lease_deadline);
+    }
+    for (const StripeState& stripe : stripe_states_) {
+      // Only future backoff expiries matter: a stripe that is ready NOW
+      // but unplaced just means every worker is busy, and the next
+      // actionable instant is their next message, not a timer.
+      if (stripe.status == StripeState::Status::pending && stripe.ready_at > now) {
+        next = std::min(next, stripe.ready_at);
+      }
+    }
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::max(next - now, Clock::duration::zero()));
+  }
+
+  void read_worker(std::size_t w) {
+    WorkerProc& worker = workers_[w];
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(worker.from_worker, buf, sizeof(buf));
+      if (n > 0) {
+        worker.rx.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF (or a read error): the worker is gone.  Drain what it
+      // managed to say first -- a DONE flushed just before death must
+      // still count.
+      drain_lines(w);
+      on_worker_death(w, "exit");
+      return;
+    }
+    drain_lines(w);
+  }
+
+  void drain_lines(std::size_t w) {
+    WorkerProc& worker = workers_[w];
+    std::size_t start = 0;
+    for (;;) {
+      const auto newline = worker.rx.find('\n', start);
+      if (newline == std::string::npos) break;
+      const std::string line = worker.rx.substr(start, newline - start);
+      start = newline + 1;
+      if (!worker.alive) break;  // a message after death handling: ignore
+      handle_message(w, line);
+    }
+    worker.rx.erase(0, start);
+  }
+
+  void handle_message(std::size_t w, const std::string& line) {
+    WorkerProc& worker = workers_[w];
+    worker.last_msg = Clock::now();
+    WorkerMsg msg;
+    try {
+      msg = parse_worker_msg(line);
+    } catch (const std::exception&) {
+      // A garbled control stream is a failed worker: kill and reclaim.
+      ::kill(worker.pid, SIGKILL);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    if (std::holds_alternative<ReadyMsg>(msg)) {
+      worker.ready = true;
+      log({.kind = "ready", .worker = w});
+      return;
+    }
+    if (std::holds_alternative<HeartbeatMsg>(msg)) return;  // liveness already noted
+    if (const auto* done = std::get_if<DoneMsg>(&msg)) {
+      handle_done(w, *done);
+      return;
+    }
+    const auto& fail = std::get<FailMsg>(msg);
+    if (worker.lease == fail.stripe) {
+      worker.lease = npos;
+      reclaim(fail.stripe, w, "fail: " + fail.message);
+    }
+  }
+
+  void handle_done(std::size_t w, const DoneMsg& done) {
+    WorkerProc& worker = workers_[w];
+    if (worker.lease != done.stripe ||
+        stripe_states_[done.stripe].status != StripeState::Status::leased) {
+      return;  // stale message for a lease already reclaimed
+    }
+    worker.lease = npos;
+    StripeState& stripe = stripe_states_[done.stripe];
+    // Trust but verify: DONE means "published", so the stripe file
+    // must exist and cover every owned cell.
+    if (!stripe_file_complete(done.stripe)) {
+      reclaim(done.stripe, w, "invalid");
+      return;
+    }
+    stripe.status = StripeState::Status::done;
+    stripe.holder = npos;
+    report_.computed += done.computed;
+    log({.kind = "done", .worker = w, .stripe = done.stripe, .attempt = done.attempt});
+  }
+
+  void on_worker_death(std::size_t w, const std::string& reason) {
+    WorkerProc& worker = workers_[w];
+    if (!worker.alive) return;
+    worker.alive = false;
+    close_fds(worker);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    report_.workers_lost += 1;
+    // Reclaim BEFORE logging the death: in the event log a lease must
+    // never outlive its holder (check::check_lease_exclusivity replays
+    // exactly that ordering).
+    if (worker.lease != npos) {
+      const std::size_t stripe = worker.lease;
+      worker.lease = npos;
+      reclaim(stripe, w, reason);
+    }
+    log({.kind = "dead", .worker = w, .detail = reason});
+  }
+
+  /// Take back a lease whose holder died or failed: adopt the stripe
+  /// if the dead worker already published it, otherwise keep its
+  /// partial attempt file as a resume source and schedule a retry
+  /// behind capped exponential backoff.
+  void reclaim(std::size_t s, std::size_t w, const std::string& reason) {
+    StripeState& stripe = stripe_states_[s];
+    const std::size_t attempt = stripe.attempts == 0 ? 0 : stripe.attempts - 1;
+    stripe.holder = npos;
+    report_.reclaims += 1;
+    log({.kind = "reclaim", .worker = w, .stripe = s, .attempt = attempt, .detail = reason});
+
+    if (stripe_file_complete(s)) {
+      // Death between the atomic publish and the DONE message: the
+      // work is all there -- adopt it, never recompute.
+      stripe.status = StripeState::Status::done;
+      report_.adopted += 1;
+      log({.kind = "adopt", .worker = w, .stripe = s, .attempt = attempt});
+      return;
+    }
+    if (::access(stripe_attempt_path(options_.workdir, s, attempt).c_str(), F_OK) == 0 &&
+        std::find(stripe.prior_attempts.begin(), stripe.prior_attempts.end(), attempt) ==
+            stripe.prior_attempts.end()) {
+      stripe.prior_attempts.push_back(attempt);
+    }
+    if (stripe.attempts >= options_.max_attempts) {
+      log({.kind = "giveup", .stripe = s, .attempt = attempt});
+      throw std::runtime_error("coordinate: stripe " + std::to_string(s) + " failed " +
+                               std::to_string(stripe.attempts) +
+                               " attempt(s); giving up (last failure: " + reason + ")");
+    }
+    const std::chrono::milliseconds backoff =
+        backoff_delay(stripe.attempts, options_.backoff_base, options_.backoff_cap);
+    stripe.status = StripeState::Status::pending;
+    stripe.ready_at = Clock::now() + backoff;
+    log({.kind = "retry",
+         .stripe = s,
+         .attempt = stripe.attempts,
+         .backoff_ms = backoff.count()});
+  }
+
+  void check_deadlines() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerProc& worker = workers_[w];
+      if (!worker.alive || now - worker.last_msg < options_.lease_deadline) continue;
+      // Silent past the deadline: hung, not merely slow (heartbeats
+      // flow from a dedicated thread even during long cells).
+      ::kill(worker.pid, SIGKILL);
+      on_worker_death(w, "deadline");
+    }
+  }
+
+  // ---- completion --------------------------------------------------
+
+  void shutdown_workers() {
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      (void)write_all(worker.to_worker, encode(CoordinatorMsg(QuitMsg{})) + "\n");
+      ::close(worker.to_worker);
+      worker.to_worker = -1;
+    }
+    const Clock::time_point grace_end = Clock::now() + std::chrono::milliseconds(2000);
+    for (WorkerProc& worker : workers_) {
+      if (!worker.alive) continue;
+      int status = 0;
+      for (;;) {
+        const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+        if (reaped == worker.pid || reaped < 0) break;
+        if (Clock::now() >= grace_end) {
+          ::kill(worker.pid, SIGKILL);
+          ::waitpid(worker.pid, &status, 0);
+          break;
+        }
+        ::usleep(10 * 1000);
+      }
+      if (worker.from_worker >= 0) ::close(worker.from_worker);
+      worker.from_worker = -1;
+      worker.alive = false;
+    }
+  }
+
+  void merge() {
+    // Every stripe file, plus every surviving partial-attempt file:
+    // feeding the partials through merge_records is the
+    // attempt-consistency check -- a reclaimed stripe whose retry
+    // produced different bytes for an already-flushed record fails the
+    // merge instead of shipping silently corrupted science.
+    std::vector<std::vector<std::string>> shards;
+    for (std::size_t s = 0; s < stripes_; ++s) {
+      std::ifstream in(stripe_final_path(options_.workdir, s));
+      if (!in) throw std::runtime_error("coordinate: stripe file missing for stripe " +
+                                        std::to_string(s));
+      const sweep::ScanResult scanned = sweep::scan_records(in);
+      sweep::validate_records_for_grid(grid_, scanned.lines);
+      shards.push_back(scanned.lines);
+      for (const std::size_t attempt : stripe_states_[s].prior_attempts) {
+        std::ifstream partial(stripe_attempt_path(options_.workdir, s, attempt));
+        if (!partial) continue;
+        const sweep::ScanResult partial_scan = sweep::scan_records(partial);
+        sweep::validate_records_for_grid(grid_, partial_scan.lines);
+        shards.push_back(partial_scan.lines);
+      }
+    }
+    std::vector<std::string> merged;
+    try {
+      merged = sweep::merge_records(shards);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string("coordinate: merge failed -- a retried stripe did "
+                                           "not reproduce its first attempt's bytes? ") +
+                               e.what());
+    }
+
+    // The merged run must cover the grid exactly: one record per
+    // (cell, backend), none missing, none duplicated (merge_records
+    // already collapsed byte-identical duplicates).
+    std::set<sweep::RecordKey> keys;
+    for (const std::string& line : merged) {
+      if (const auto key = sweep::record_key(line)) keys.insert(*key);
+    }
+    const std::size_t backends = grid_.backend_count();
+    for (std::size_t index = 0; index < grid_.cells(); ++index) {
+      const sweep::RecordKey key{index / backends,
+                                 std::string(sweep::cell_backend(grid_, index))};
+      if (!keys.contains(key)) {
+        throw std::runtime_error("coordinate: merged output is missing cell " +
+                                 std::to_string(key.cell) + " (backend " + key.backend + ")");
+      }
+    }
+
+    sweep::write_lines_atomic(options_.out_path, merged);
+    report_.merged_records = merged.size();
+  }
+
+  // ---- helpers -----------------------------------------------------
+
+  [[nodiscard]] bool stripe_file_complete(std::size_t s) {
+    std::ifstream in(stripe_final_path(options_.workdir, s));
+    if (!in) return false;
+    sweep::ScanResult scanned;
+    try {
+      scanned = sweep::scan_records(in);
+      sweep::validate_records_for_grid(grid_, scanned.lines);
+    } catch (const std::exception&) {
+      return false;  // not adoptable; a retry will republish it
+    }
+    bool complete = true;
+    const std::size_t backends = grid_.backend_count();
+    sweep::for_each_owned_index(grid_, s, stripes_, [&](std::size_t index) {
+      const sweep::RecordKey key{index / backends,
+                                 std::string(sweep::cell_backend(grid_, index))};
+      complete = scanned.done.contains(key);
+      return complete;
+    });
+    return complete;
+  }
+
+  static void close_fds(WorkerProc& worker) {
+    if (worker.to_worker >= 0) ::close(worker.to_worker);
+    if (worker.from_worker >= 0) ::close(worker.from_worker);
+    worker.to_worker = -1;
+    worker.from_worker = -1;
+  }
+
+  void log(LeaseEvent event) {
+    event.seq = next_seq_++;
+    events_ << encode_lease_event(event) << '\n' << std::flush;
+    if (options_.on_event) options_.on_event(event);
+  }
+
+  const CoordinatorOptions& options_;
+  std::string spec_text_;
+  sweep::Grid grid_;
+  std::size_t stripes_ = 1;
+  std::vector<WorkerProc> workers_;
+  std::vector<StripeState> stripe_states_;
+  std::ofstream events_;
+  std::size_t next_seq_ = 0;
+  CoordinatorReport report_;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorOptions options) : options_(std::move(options)) {}
+
+CoordinatorReport Coordinator::run() {
+  Run run(options_);
+  return run.run();
+}
+
+}  // namespace dist

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.hpp"
+
+namespace dist {
+
+/// The coordinator of a distributed sweep (`dls_sweep coordinate`).
+///
+/// Spawns worker processes (fork/exec over pipes -- the transport a
+/// socket listener would replace for multi-host runs), leases stripes
+/// of the grid to them, and supervises:
+///
+///  - liveness: any worker message resets its deadline clock; a worker
+///    silent past `lease_deadline` is SIGKILLed and its lease
+///    reclaimed (this is what catches hung workers, whose pipes never
+///    close).
+///  - reclamation: a reclaimed stripe's partial attempt file is
+///    reused, not discarded -- the retry lease names it and the new
+///    worker resumes past every record the dead worker flushed
+///    (sweep::scan_records drops at most one torn final line).  If the
+///    dead worker had already PUBLISHED the stripe (death between the
+///    atomic rename and the DONE message), the coordinator adopts the
+///    completed file instead of retrying.
+///  - retry: reclaimed stripes go back to the pending pool gated by
+///    capped exponential backoff (protocol.hpp backoff_delay) and are
+///    re-leased to surviving workers, up to `max_attempts` per stripe
+///    -- exhaustion fails the whole run loudly.
+///  - merge: once every stripe is done, all stripe files PLUS all
+///    surviving partial-attempt files are merged
+///    (sweep::merge_records): byte-identical duplicates collapse and
+///    any reclaimed-stripe record that differs from a first-attempt
+///    record aborts the run -- so the merged output of a sweep that
+///    lost k of n workers is bitwise identical to an uninterrupted
+///    serial run, by construction and by check.
+///
+/// Every decision is appended to a lease-event log (JSONL of
+/// protocol.hpp LeaseEvents) that check::check_lease_exclusivity can
+/// replay: no stripe is ever leased to two live workers.
+struct CoordinatorOptions {
+  std::string spec_path;  ///< grid spec file, passed verbatim to workers
+  std::string out_path;   ///< merged output (written atomically at the end)
+  std::string workdir;    ///< stripe/attempt shard files + events log
+  std::string events_path;  ///< lease-event log ("" = <workdir>/events.jsonl)
+  std::string backend;      ///< forwarded --backend override ("" = none)
+  std::size_t workers = 2;
+  std::size_t stripes = 0;  ///< lease granularity; 0 = min(4 * workers, cells)
+  unsigned worker_threads = 0;  ///< forwarded SweepRunner width (0 = spec)
+  std::chrono::milliseconds heartbeat_interval{200};
+  std::chrono::milliseconds lease_deadline{2000};
+  std::size_t max_attempts = 5;  ///< lease attempts per stripe before giving up
+  std::chrono::milliseconds backoff_base{250};
+  std::chrono::milliseconds backoff_cap{5000};
+  std::vector<ChaosKill> chaos;  ///< fault-injection directives, by worker index
+  /// Command to exec for each worker, e.g. {"./dls_sweep"}; the
+  /// coordinator appends `work <spec> --dir <workdir> ...`.  Empty =
+  /// /proc/self/exe (the coordinator binary itself).
+  std::vector<std::string> worker_command;
+  /// Observer invoked for every logged lease event (stderr narration).
+  std::function<void(const LeaseEvent&)> on_event;
+};
+
+struct CoordinatorReport {
+  std::size_t stripes = 0;
+  std::size_t computed = 0;        ///< cells computed across all workers
+  std::size_t adopted = 0;         ///< stripes adopted complete (restart or death-after-publish)
+  std::size_t reclaims = 0;        ///< leases taken back from dead/failed workers
+  std::size_t retries = 0;         ///< retry leases granted
+  std::size_t workers_lost = 0;    ///< worker processes that died or were killed
+  std::size_t merged_records = 0;  ///< records in the final merged output
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions options);
+
+  /// Run the sweep to completion and write the merged output.  Throws
+  /// std::runtime_error (after killing surviving workers) when the run
+  /// cannot complete: spec errors, every worker lost, a stripe out of
+  /// attempts, conflicting records, or a merged-output write failure.
+  CoordinatorReport run();
+
+ private:
+  CoordinatorOptions options_;
+};
+
+}  // namespace dist

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "dist/protocol.hpp"
+
+namespace dist {
+
+/// One worker process of a distributed sweep (`dls_sweep work`).
+///
+/// The worker parses the grid spec once, announces READY on stdout,
+/// then serves LEASE messages from stdin until QUIT or EOF.  Each
+/// lease runs one stripe of the grid through sweep::SweepRunner
+/// (stripe identity = shard identity, so the records are bitwise the
+/// ones a standalone `--shard stripe/stripes` run would produce),
+/// streaming records into the attempt's temp file via
+/// sweep::ShardWriter and publishing the stripe file atomically on
+/// completion -- the DONE message is only sent after the rename, so a
+/// death between the two leaves a complete stripe for the coordinator
+/// to adopt.  Prior attempts named in the lease are scanned through
+/// sweep::scan_records/merge_records first: their surviving records
+/// are carried forward (and cross-attempt conflicts throw -- records
+/// are deterministic, a reclaimed stripe must reproduce the dead
+/// worker's bytes), so a retry only computes what the dead worker
+/// never flushed.
+///
+/// A dedicated thread heartbeats `HB <computed_total>` every interval
+/// regardless of how long a cell takes; only death (or chaos-induced
+/// hanging) silences it.
+struct WorkerOptions {
+  std::string spec_text;  ///< the grid spec (already read from disk)
+  std::string workdir;    ///< shard-file directory shared with the coordinator
+  unsigned threads = 1;   ///< SweepRunner pool width per lease
+  std::chrono::milliseconds heartbeat_interval{200};
+  /// Fault injection: once the lifetime computed-cell count reaches
+  /// `after_cells`, die (kill), tear the record stream then die
+  /// (truncate), or silently freeze (hang).  See protocol.hpp.
+  std::optional<ChaosKill> chaos;
+};
+
+/// Serve the protocol on stdin/stdout until QUIT or EOF.  Returns the
+/// process exit code (0 = orderly shutdown; 1 = unrecoverable worker
+/// error after reporting what it could).
+[[nodiscard]] int run_worker(const WorkerOptions& options);
+
+}  // namespace dist

@@ -1,0 +1,212 @@
+#include "dist/worker.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/record.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/shard_io.hpp"
+
+namespace dist {
+namespace {
+
+/// Line-atomic stdout sender shared by the main loop and the
+/// heartbeat thread.  Full-line write(2) with EINTR retry; a broken
+/// pipe means the coordinator is gone, so the worker just exits (via
+/// the default SIGPIPE disposition or the false return).
+class Sender {
+ public:
+  bool send(const WorkerMsg& msg) {
+    const std::string line = encode(msg) + "\n";
+    const std::scoped_lock lock(mutex_);
+    std::size_t written = 0;
+    while (written < line.size()) {
+      const ssize_t n = ::write(STDOUT_FILENO, line.data() + written, line.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// The heartbeat thread: one HB per interval, carrying the lifetime
+/// computed-cell count.  Chaos `hang` silences it (the coordinator
+/// must then reclaim by deadline, not by EOF).
+class Heartbeat {
+ public:
+  Heartbeat(Sender& sender, std::chrono::milliseconds interval,
+            const std::atomic<std::size_t>& computed)
+      : sender_(sender), interval_(interval), computed_(computed) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~Heartbeat() {
+    {
+      const std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void silence() {
+    const std::scoped_lock lock(mutex_);
+    silenced_ = true;
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, interval_, [this] { return stop_; });
+      if (stop_) return;
+      if (silenced_) continue;
+      lock.unlock();
+      (void)sender_.send(HeartbeatMsg{computed_.load(std::memory_order_relaxed)});
+      lock.lock();
+    }
+  }
+
+  Sender& sender_;
+  std::chrono::milliseconds interval_;
+  const std::atomic<std::size_t>& computed_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool silenced_ = false;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  sweep::Grid grid;
+  try {
+    grid = sweep::parse_grid(options.spec_text);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep work: " << e.what() << "\n";
+    return 1;
+  }
+
+  Sender sender;
+  std::atomic<std::size_t> computed_total{0};
+  Heartbeat heartbeat(sender, options.heartbeat_interval, computed_total);
+
+  // Chaos state: the current writer so `truncate` can tear the live
+  // shard stream mid-record before dying.
+  sweep::ShardWriter* live_writer = nullptr;
+  bool chaos_armed = options.chaos.has_value();
+  const auto maybe_chaos = [&] {
+    if (!chaos_armed ||
+        computed_total.load(std::memory_order_relaxed) < options.chaos->after_cells) {
+      return;
+    }
+    chaos_armed = false;
+    switch (options.chaos->mode) {
+      case ChaosMode::kill:
+        ::raise(SIGKILL);
+        break;
+      case ChaosMode::truncate:
+        // A record prefix cut mid-field: exactly the bytes a real
+        // mid-write kill leaves, which scan_records must drop as the
+        // partial tail when the coordinator reclaims this attempt.
+        if (live_writer != nullptr) {
+          live_writer->stream() << "{\"cell\":4294967295,\"of\":" << std::flush;
+        }
+        ::raise(SIGKILL);
+        break;
+      case ChaosMode::hang:
+        // Go silent without dying: stop heartbeating and freeze.  Only
+        // the coordinator's lease deadline can reclaim this worker.
+        heartbeat.silence();
+        for (;;) ::pause();
+    }
+  };
+
+  if (!sender.send(ReadyMsg{})) return 1;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    CoordinatorMsg msg;
+    try {
+      msg = parse_coordinator_msg(line);
+    } catch (const std::exception& e) {
+      std::cerr << "dls_sweep work: " << e.what() << "\n";
+      return 1;
+    }
+    if (std::holds_alternative<QuitMsg>(msg)) return 0;
+    const auto& lease = std::get<LeaseMsg>(msg);
+
+    try {
+      // Carry forward what the prior attempts already flushed.
+      // merge_records both deduplicates and ENFORCES that overlapping
+      // attempts agree byte-for-byte -- the deterministic-record
+      // contract a reclaimed stripe must uphold.
+      std::vector<std::vector<std::string>> prior;
+      for (const std::size_t attempt : lease.resume_attempts) {
+        std::ifstream in(stripe_attempt_path(options.workdir, lease.stripe, attempt));
+        if (!in) continue;  // never flushed anything before dying
+        const sweep::ScanResult scanned = sweep::scan_records(in);
+        sweep::validate_records_for_grid(grid, scanned.lines);
+        prior.push_back(scanned.lines);
+      }
+      const std::vector<std::string> survivors = sweep::merge_records(prior);
+      std::set<sweep::RecordKey> done;
+      for (const std::string& record : survivors) {
+        if (const auto key = sweep::record_key(record)) done.insert(*key);
+      }
+
+      sweep::ShardWriter writer(
+          stripe_final_path(options.workdir, lease.stripe),
+          stripe_attempt_path(options.workdir, lease.stripe, lease.attempt));
+      live_writer = &writer;
+      for (const std::string& record : survivors) writer.append_line(record);
+
+      sweep::SweepRunner::Options run_options;
+      run_options.threads = options.threads;
+      run_options.shard_index = lease.stripe;
+      run_options.shard_count = lease.stripe_count;
+      const sweep::SweepRunner runner(run_options);
+      std::size_t skipped = 0;
+      const auto observer = [&](const sweep::SweepRunner::CellEvent& event) {
+        if (event.skipped) {
+          ++skipped;
+          return;
+        }
+        computed_total.fetch_add(1, std::memory_order_relaxed);
+        maybe_chaos();
+      };
+      const std::size_t computed = runner.run(grid, done, writer.stream(), observer);
+      writer.commit();
+      live_writer = nullptr;
+      // Publish-then-report: the rename above is the durable state
+      // change, DONE is only the notification of it.
+      if (!sender.send(DoneMsg{lease.stripe, lease.attempt, computed, skipped})) return 1;
+    } catch (const std::exception& e) {
+      live_writer = nullptr;
+      if (!sender.send(FailMsg{lease.stripe, lease.attempt, e.what()})) return 1;
+    }
+  }
+  // EOF without QUIT: the coordinator is gone; exit quietly.
+  return 0;
+}
+
+}  // namespace dist

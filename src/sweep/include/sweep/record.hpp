@@ -120,8 +120,11 @@ struct ScanResult {
 /// Scan an existing sweep output for resumable state.  A malformed
 /// *final* line is the signature of a kill mid-write and is dropped
 /// (reported via dropped_partial_tail); a malformed line anywhere else
-/// means the file is not a sweep output and throws.  Duplicate
-/// (cell, backend) records must be byte-identical (the
+/// means the file is not a sweep output and throws.  A structurally
+/// complete record whose `experiment` echo fails to re-parse is
+/// corruption (a kill truncates, it cannot rewrite a line's middle)
+/// and throws with the offending line number -- even at the tail.
+/// Duplicate (cell, backend) records must be byte-identical (the
 /// deterministic-record guarantee); conflicting duplicates throw.
 [[nodiscard]] ScanResult scan_records(std::istream& in);
 

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweep {
+
+/// Durable, atomic shard-file writer -- the record I/O contract of the
+/// fault-tolerant sweep (sweep satellite of dls::dist).
+///
+/// Records are streamed to `temp_path` while the shard is in progress
+/// (each ostream flush is an EINTR-safe write(2) of the buffered bytes,
+/// so a kill at any instant leaves at most one truncated final line --
+/// exactly what scan_records expects and drops).  commit() makes the
+/// shard durable and visible in one atomic step: fsync the data, then
+/// rename(temp_path -> final_path), then fsync the directory -- so
+/// `final_path` either does not exist or holds a complete, durable
+/// shard, never a torn one.  A writer that is destroyed (or abort()ed)
+/// without committing closes the fd but KEEPS the temp file: a partial
+/// attempt is reclamation evidence, not garbage -- the dist coordinator
+/// hands it to the retry as a resume source.
+///
+/// All I/O errors (open, write, fsync, rename -- including disk full
+/// and unwritable directories) throw std::runtime_error naming the
+/// path and the errno message; short writes and EINTR are retried, not
+/// surfaced.  Writes through stream() record the failure, set the
+/// stream's badbit (so callers already checking the stream see it) and
+/// the next append_line()/commit() throws with the saved reason.
+class ShardWriter {
+ public:
+  /// Opens `temp_path` (created or truncated).  Throws on failure.
+  ShardWriter(std::string final_path, std::string temp_path);
+  /// Convenience: temp_path = final_path + ".tmp".
+  explicit ShardWriter(std::string final_path);
+  ~ShardWriter();
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  /// Buffered ostream over the temp file; every explicit flush is a
+  /// full write(2) of the buffer.  Valid until commit()/abort().
+  [[nodiscard]] std::ostream& stream();
+
+  /// Append one record line (adds the newline) and flush it to the fd.
+  void append_line(std::string_view line);
+
+  /// fsync + close + atomic rename over final_path + fsync(directory).
+  /// After commit() the writer is closed; further writes throw.
+  void commit();
+
+  /// Close without publishing; the temp file is kept on disk.
+  void abort() noexcept;
+
+  [[nodiscard]] const std::string& final_path() const { return final_path_; }
+  [[nodiscard]] const std::string& temp_path() const { return temp_path_; }
+  /// Last stream-write failure ("" if none) -- the errno account an
+  /// ostream's badbit cannot carry.
+  [[nodiscard]] const std::string& last_error() const;
+
+ private:
+  struct Buf;  // the fd-backed streambuf
+  std::string final_path_;
+  std::string temp_path_;
+  std::unique_ptr<Buf> buf_;
+  std::unique_ptr<std::ostream> stream_;
+  bool open_ = false;
+};
+
+/// Write `lines` (newline-terminated) to `path` in one atomic, durable
+/// step: temp file + fsync + rename + directory fsync -- the merged
+/// sweep output must never be observable half-written.  Throws
+/// std::runtime_error on any I/O failure.
+void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines);
+
+}  // namespace sweep

@@ -7,6 +7,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "repro/experiment_file.hpp"
 #include "support/table.hpp"
 
 namespace sweep {
@@ -312,6 +313,23 @@ ScanResult scan_records(std::istream& in) {
     if (!key) {
       pending_bad_line = line_no;
       continue;
+    }
+    // A structurally complete record whose `experiment` echo does not
+    // re-parse is corruption, not a kill signature (a kill truncates,
+    // it cannot rewrite the middle of a line) -- reject it loudly even
+    // at the tail, never silently skip and recompute over it.
+    const std::optional<std::string> echo = record_experiment(line);
+    if (!echo) {
+      throw std::invalid_argument("sweep output line " + std::to_string(line_no) +
+                                  ": record has no experiment echo (not a sweep output, or "
+                                  "corrupted)");
+    }
+    try {
+      (void)repro::parse_experiment_spec(*echo);
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("sweep output line " + std::to_string(line_no) +
+                                  ": experiment echo does not re-parse (corrupted record): " +
+                                  e.what());
     }
     if (const auto [it, inserted] = out.done.insert(*key); !inserted) {
       // A duplicate can only come from a rewrite race; records are

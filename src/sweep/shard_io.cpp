@@ -1,0 +1,159 @@
+#include "sweep/shard_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sweep {
+namespace {
+
+[[nodiscard]] std::string errno_message(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+/// Returns "" on success, the errno account on failure.
+[[nodiscard]] std::string write_all(int fd, const char* data, std::size_t size,
+                                    const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted flush: retry, never truncate
+      return errno_message("writing", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return "";
+}
+
+void fsync_or_throw(int fd, const std::string& path) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    throw std::runtime_error(errno_message("fsync", path));
+  }
+}
+
+/// fsync the directory containing `path`, so the rename that published
+/// a shard is itself durable.
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw std::runtime_error(errno_message("opening directory", dir));
+  try {
+    fsync_or_throw(fd, dir);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+/// The fd-backed streambuf: characters accumulate in `pending`;
+/// sync() (any ostream flush) writes the whole backlog EINTR-safely.
+/// A failed write is latched in `error` and reported as badbit.
+struct ShardWriter::Buf final : std::streambuf {
+  int fd = -1;
+  std::string path;
+  std::string pending;
+  std::string error;
+
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return sync() == 0 ? 0 : traits_type::eof();
+    pending += traits_type::to_char_type(ch);
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    pending.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+  int sync() override {
+    if (!error.empty()) return -1;  // stay failed until the caller notices
+    if (pending.empty()) return 0;
+    error = write_all(fd, pending.data(), pending.size(), path);
+    if (!error.empty()) return -1;
+    pending.clear();
+    return 0;
+  }
+};
+
+ShardWriter::ShardWriter(std::string final_path, std::string temp_path)
+    : final_path_(std::move(final_path)), temp_path_(std::move(temp_path)) {
+  buf_ = std::make_unique<Buf>();
+  buf_->path = temp_path_;
+  buf_->fd = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (buf_->fd < 0) throw std::runtime_error(errno_message("cannot open", temp_path_));
+  stream_ = std::make_unique<std::ostream>(buf_.get());
+  open_ = true;
+}
+
+ShardWriter::ShardWriter(std::string final_path)
+    : ShardWriter(final_path, final_path + ".tmp") {}
+
+ShardWriter::~ShardWriter() { abort(); }
+
+std::ostream& ShardWriter::stream() {
+  if (!open_) throw std::runtime_error("ShardWriter: " + temp_path_ + " is already closed");
+  return *stream_;
+}
+
+const std::string& ShardWriter::last_error() const { return buf_->error; }
+
+void ShardWriter::append_line(std::string_view line) {
+  std::ostream& out = stream();
+  out << line << '\n' << std::flush;
+  if (!out) {
+    throw std::runtime_error("writing " + temp_path_ + " failed" +
+                             (buf_->error.empty() ? "" : ": " + buf_->error));
+  }
+}
+
+void ShardWriter::commit() {
+  if (!open_) throw std::runtime_error("ShardWriter: " + temp_path_ + " is already closed");
+  stream_->flush();
+  if (!*stream_) {
+    throw std::runtime_error("flushing " + temp_path_ + " failed" +
+                             (buf_->error.empty() ? "" : ": " + buf_->error));
+  }
+  fsync_or_throw(buf_->fd, temp_path_);
+  if (::close(buf_->fd) != 0) {
+    buf_->fd = -1;
+    open_ = false;
+    throw std::runtime_error(errno_message("closing", temp_path_));
+  }
+  buf_->fd = -1;
+  open_ = false;
+  if (std::rename(temp_path_.c_str(), final_path_.c_str()) != 0) {
+    throw std::runtime_error(errno_message("renaming " + temp_path_ + " over", final_path_));
+  }
+  fsync_parent_dir(final_path_);
+}
+
+void ShardWriter::abort() noexcept {
+  if (!open_) return;
+  open_ = false;
+  // Best-effort flush so a reclaimed attempt keeps every record that
+  // was handed to the stream; the temp file stays for the retry to
+  // resume from.
+  stream_->flush();
+  ::close(buf_->fd);
+  buf_->fd = -1;
+}
+
+void write_lines_atomic(const std::string& path, const std::vector<std::string>& lines) {
+  ShardWriter writer(path);
+  for (const std::string& line : lines) writer.append_line(line);
+  writer.commit();
+}
+
+}  // namespace sweep

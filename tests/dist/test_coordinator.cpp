@@ -1,0 +1,223 @@
+// Process-level tests of `dls_sweep coordinate` / `work` (the real
+// binary, via DLS_SWEEP_BIN): a sweep that loses workers mid-run --
+// clean kills, torn-record kills, or silent hangs -- must exit 0 with
+// a merged output byte-identical to a serial run, and its lease-event
+// log must satisfy the exclusivity invariant.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/dist.hpp"
+#include "dist/protocol.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/runner.hpp"
+
+namespace {
+
+constexpr const char* kSpec =
+    "workload exponential:1.0\ntasks 128\nh 0.5\nseed 42\nreplicas 4\n"
+    "sweep technique SS GSS TSS FAC2\nsweep workers 2 4\n";  // 8 cells
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = "/tmp/dls_coord_XXXXXX";
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { std::system(("rm -rf " + path_).c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+int run_tool(const std::string& args) {
+  const std::string command = std::string(DLS_SWEEP_BIN) + " " + args + " 2>/dev/null";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string serial_reference() {
+  std::ostringstream out;
+  (void)sweep::SweepRunner().run(sweep::parse_grid(kSpec), {}, out);
+  return out.str();
+}
+
+std::string write_spec(const TempDir& dir) {
+  const std::string path = dir.path() + "/grid.sweep";
+  std::ofstream out(path);
+  out << kSpec;
+  return path;
+}
+
+std::vector<dist::LeaseEvent> read_events(const std::string& path) {
+  std::vector<dist::LeaseEvent> events;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto event = dist::parse_lease_event(line)) events.push_back(std::move(*event));
+  }
+  return events;
+}
+
+TEST(CoordinateTool, CleanFourWorkerRunMatchesSerialByteForByte) {
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string out = dir.path() + "/merged.jsonl";
+  ASSERT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 4 --threads 1 --quiet"),
+            0);
+  EXPECT_EQ(read_file(out), serial_reference());
+  EXPECT_EQ(check::check_lease_exclusivity(read_events(dir.path() + "/wd/events.jsonl")),
+            std::nullopt);
+}
+
+TEST(CoordinateTool, LosingTwoOfFourWorkersStillMatchesSerial) {
+  // The tentpole acceptance scenario: worker 0 SIGKILLed between
+  // records, worker 1 killed mid-record write (torn tail).  Their
+  // leases must be reclaimed and retried, and the merged output must
+  // be bitwise identical to the uninterrupted serial run.
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string out = dir.path() + "/merged.jsonl";
+  ASSERT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 4 --threads 1 --quiet --chaos 0:1:kill,1:1:truncate "
+                     "--backoff-ms 10"),
+            0);
+  EXPECT_EQ(read_file(out), serial_reference());
+
+  const std::vector<dist::LeaseEvent> events = read_events(dir.path() + "/wd/events.jsonl");
+  EXPECT_EQ(check::check_lease_exclusivity(events), std::nullopt);
+  std::size_t reclaims = 0;
+  std::size_t dead = 0;
+  for (const dist::LeaseEvent& event : events) {
+    reclaims += event.kind == "reclaim" ? 1 : 0;
+    dead += event.kind == "dead" ? 1 : 0;
+  }
+  EXPECT_GE(dead, 2u);     // both chaos victims died
+  EXPECT_GE(reclaims, 2u);  // and their leases were taken back
+}
+
+TEST(CoordinateTool, HungWorkerIsReclaimedByDeadline) {
+  // A hung worker (alive, pipes open, heartbeat silenced) is invisible
+  // to EOF detection -- only the lease deadline can reclaim it.
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string out = dir.path() + "/merged.jsonl";
+  ASSERT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 2 --threads 1 --quiet --chaos 1:1:hang "
+                     "--heartbeat-ms 30 --deadline-ms 300 --backoff-ms 10"),
+            0);
+  EXPECT_EQ(read_file(out), serial_reference());
+
+  bool deadline_reclaim = false;
+  for (const dist::LeaseEvent& event : read_events(dir.path() + "/wd/events.jsonl")) {
+    deadline_reclaim |= event.kind == "dead" && event.detail == "deadline";
+  }
+  EXPECT_TRUE(deadline_reclaim);
+}
+
+TEST(CoordinateTool, SeededChaosMatchesSerial) {
+  // The CI chaos job's form: victims and kill points derived from a
+  // seed, 2 of 4 workers lost.
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string out = dir.path() + "/merged.jsonl";
+  ASSERT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 4 --threads 1 --quiet --chaos-seed 20170529 "
+                     "--chaos-kills 2 --backoff-ms 10"),
+            0);
+  EXPECT_EQ(read_file(out), serial_reference());
+}
+
+TEST(CoordinateTool, RestartedCoordinatorAdoptsAndResumesPriorWork) {
+  // Kill the whole first run early (chaos takes out the only worker ->
+  // the coordinator fails loudly), then re-run with the same workdir:
+  // published stripes are adopted, partial attempts resumed, and the
+  // final output is still byte-identical.
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string out = dir.path() + "/merged.jsonl";
+  // Stripe count pinned across the two runs: lease identity is shard
+  // identity, so a restart must re-stripe the grid the same way.
+  EXPECT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 1 --stripes 4 --threads 1 --quiet --chaos 0:3:kill "
+                     "--backoff-ms 10"),
+            1);
+  ASSERT_EQ(run_tool("coordinate " + spec + " --out " + out + " --workdir " + dir.path() +
+                     "/wd --workers 2 --stripes 4 --threads 1 --quiet --backoff-ms 10"),
+            0);
+  EXPECT_EQ(read_file(out), serial_reference());
+  // The appended two-run log must still replay cleanly (seq resets).
+  EXPECT_EQ(check::check_lease_exclusivity(read_events(dir.path() + "/wd/events.jsonl")),
+            std::nullopt);
+}
+
+TEST(CoordinateTool, UsageAndSpecErrorsExitTwo) {
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  // Missing --out / --workdir.
+  EXPECT_EQ(run_tool("coordinate " + spec), 2);
+  // Unreadable spec.
+  EXPECT_EQ(run_tool("coordinate " + dir.path() + "/nope.sweep --out o --workdir " + dir.path() +
+                     "/wd"),
+            2);
+  // Malformed spec.
+  std::ofstream(dir.path() + "/bad.sweep") << "sweep technique\n";
+  EXPECT_EQ(run_tool("coordinate " + dir.path() + "/bad.sweep --out o --workdir " + dir.path() +
+                     "/wd"),
+            2);
+  // Conflicting chaos forms.
+  EXPECT_EQ(run_tool("coordinate " + spec + " --out o --workdir w --chaos 0:1 --chaos-kills 1"),
+            2);
+}
+
+TEST(WorkTool, RejectsMissingDirAndBadSpec) {
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  EXPECT_EQ(run_tool("work " + spec + " </dev/null"), 2);
+  EXPECT_EQ(run_tool("work " + dir.path() + "/nope.sweep --dir " + dir.path() + " </dev/null"),
+            2);
+}
+
+TEST(WorkTool, ServesALeaseOverStdinAndPublishesTheStripe) {
+  // Drive one worker by hand: LEASE stripe 0 of 2, then QUIT.  The
+  // stripe file must appear (published atomically) and hold exactly
+  // the records of shard 0/2.
+  const TempDir dir;
+  const std::string spec = write_spec(dir);
+  const std::string wd = dir.path() + "/wd";
+  ASSERT_EQ(std::system(("mkdir -p " + wd).c_str()), 0);
+  const std::string command = "printf 'LEASE 0 2 0 -\\nQUIT\\n' | " + std::string(DLS_SWEEP_BIN) +
+                              " work " + spec + " --dir " + wd + " --threads 1 >" + dir.path() +
+                              "/proto.txt 2>/dev/null";
+  const int status = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  const std::string proto = read_file(dir.path() + "/proto.txt");
+  EXPECT_EQ(proto.find("READY"), 0u);
+  EXPECT_NE(proto.find("DONE 0 0 "), std::string::npos);
+
+  sweep::SweepRunner::Options options;
+  options.shard_index = 0;
+  options.shard_count = 2;
+  std::ostringstream expected;
+  (void)sweep::SweepRunner(options).run(sweep::parse_grid(kSpec), {}, expected);
+  EXPECT_EQ(read_file(dist::stripe_final_path(wd, 0)), expected.str());
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Lease expiry / reclamation edge cases (dist::Coordinator driving the
+// real dls_sweep binary as its workers).  Every scenario must converge
+// to a merged output byte-identical to an uninterrupted serial run:
+//  - a worker died mid-record, leaving a truncated attempt-file tail;
+//  - a worker died after publishing its stripe but before the
+//    coordinator observed the DONE (adoption, exercised via the
+//    equivalent coordinator-restart path);
+//  - two workers raced on a reclaimed stripe (a presumed-dead zombie
+//    and its replacement both committing the same stripe).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "sweep/record.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/shard_io.hpp"
+
+namespace {
+
+constexpr const char* kSpec =
+    "workload exponential:1.0\ntasks 128\nh 0.5\nseed 42\nreplicas 4\n"
+    "sweep technique SS GSS TSS\nsweep workers 2 4\n";  // 6 cells
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = "/tmp/dls_reclaim_XXXXXX";
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { std::system(("rm -rf " + path_).c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << text;
+}
+
+std::string serial_reference(const sweep::Grid& grid) {
+  std::ostringstream out;
+  (void)sweep::SweepRunner().run(grid, {}, out);
+  return out.str();
+}
+
+std::vector<std::string> shard_records(const sweep::Grid& grid, std::size_t index,
+                                       std::size_t count) {
+  sweep::SweepRunner::Options options;
+  options.shard_index = index;
+  options.shard_count = count;
+  std::ostringstream out;
+  (void)sweep::SweepRunner(options).run(grid, {}, out);
+  std::vector<std::string> lines;
+  std::istringstream is(out.str());
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+dist::CoordinatorOptions base_options(const TempDir& dir) {
+  dist::CoordinatorOptions options;
+  options.spec_path = dir.path() + "/grid.sweep";
+  options.out_path = dir.path() + "/merged.jsonl";
+  options.workdir = dir.path() + "/wd";
+  options.workers = 1;
+  options.stripes = 2;
+  options.worker_threads = 1;
+  options.heartbeat_interval = std::chrono::milliseconds(50);
+  options.lease_deadline = std::chrono::milliseconds(2000);
+  options.backoff_base = std::chrono::milliseconds(10);
+  options.worker_command = {DLS_SWEEP_BIN};
+  write_file(options.spec_path, kSpec);
+  ::mkdir(options.workdir.c_str(), 0755);
+  return options;
+}
+
+TEST(Reclaim, TruncatedAttemptTailIsResumedNotRecomputed) {
+  // A reclaimed attempt file holding one complete record and half of a
+  // second (a mid-record death) must resume past the complete record
+  // and drop the torn one -- the merged output stays byte-identical.
+  const sweep::Grid grid = sweep::parse_grid(kSpec);
+  const TempDir dir;
+  dist::CoordinatorOptions options = base_options(dir);
+
+  const std::vector<std::string> stripe0 = shard_records(grid, 0, 2);  // 3 records
+  ASSERT_GE(stripe0.size(), 2u);
+  write_file(dist::stripe_attempt_path(options.workdir, 0, 0),
+             stripe0[0] + "\n" + stripe0[1].substr(0, stripe0[1].size() / 2));
+
+  const dist::CoordinatorReport report = dist::Coordinator(options).run();
+  EXPECT_EQ(read_file(options.out_path), serial_reference(grid));
+  // One cell of six rode in from the dead attempt.
+  EXPECT_EQ(report.computed, grid.cells() - 1);
+  EXPECT_EQ(report.adopted, 0u);
+}
+
+TEST(Reclaim, PublishedStripeIsAdoptedNeverRecomputed) {
+  // Death between the atomic publish and the DONE message leaves a
+  // complete stripe file with no recorded completion -- exactly the
+  // state a coordinator (re)start sees.  It must adopt the file, not
+  // re-lease the stripe.
+  const sweep::Grid grid = sweep::parse_grid(kSpec);
+  const TempDir dir;
+  dist::CoordinatorOptions options = base_options(dir);
+
+  std::string published;
+  for (const std::string& line : shard_records(grid, 0, 2)) published += line + "\n";
+  write_file(dist::stripe_final_path(options.workdir, 0), published);
+
+  const dist::CoordinatorReport report = dist::Coordinator(options).run();
+  EXPECT_EQ(read_file(options.out_path), serial_reference(grid));
+  EXPECT_EQ(report.adopted, 1u);
+  EXPECT_EQ(report.computed, grid.cells() - 3);  // stripe 0's three cells adopted
+}
+
+TEST(Reclaim, RacingWorkersOnAReclaimedStripeConvergeByteIdentically) {
+  // A worker presumed dead (deadline) and its replacement can both
+  // finish the same stripe: each streams its own attempt file and each
+  // atomically renames it over the same final path.  Records are
+  // deterministic, so both attempts hold identical bytes; whichever
+  // rename lands last, the final file and the merge are unchanged.
+  const sweep::Grid grid = sweep::parse_grid(kSpec);
+  const TempDir dir;
+  const std::string wd = dir.path();
+  const std::vector<std::string> records = shard_records(grid, 0, 2);
+
+  sweep::ShardWriter zombie(dist::stripe_final_path(wd, 0), dist::stripe_attempt_path(wd, 0, 0));
+  sweep::ShardWriter replacement(dist::stripe_final_path(wd, 0),
+                                 dist::stripe_attempt_path(wd, 0, 1));
+  for (const std::string& line : records) {
+    zombie.append_line(line);
+    replacement.append_line(line);
+  }
+  replacement.commit();  // the retry publishes first...
+  zombie.commit();       // ...then the zombie's rename races over it
+
+  std::ifstream final_file(dist::stripe_final_path(wd, 0));
+  const sweep::ScanResult scanned = sweep::scan_records(final_file);
+  EXPECT_EQ(scanned.lines, records);
+
+  // The coordinator's merge sees the final file AND both attempts'
+  // leftovers; byte-identical duplicates must collapse to one copy.
+  const std::vector<std::string> merged =
+      sweep::merge_records({scanned.lines, records, shard_records(grid, 1, 2)});
+  std::string merged_text;
+  for (const std::string& line : merged) merged_text += line + "\n";
+  EXPECT_EQ(merged_text, serial_reference(grid));
+}
+
+TEST(Reclaim, ConflictingRetryBytesFailTheMergeLoudly) {
+  // If a retry somehow produced DIFFERENT bytes for a cell the dead
+  // worker already flushed, the merge must throw, not ship one of the
+  // two silently.
+  const sweep::Grid grid = sweep::parse_grid(kSpec);
+  std::vector<std::string> attempt0 = shard_records(grid, 0, 2);
+  std::vector<std::string> attempt1 = attempt0;
+  const auto seed = attempt1[0].find("\"seed\":");
+  ASSERT_NE(seed, std::string::npos);
+  attempt1[0][seed + 8] = attempt1[0][seed + 8] == '1' ? '2' : '1';
+  EXPECT_THROW((void)sweep::merge_records({attempt0, attempt1}), std::invalid_argument);
+}
+
+TEST(Reclaim, UnpublishableStripeExhaustsRetriesAndFailsLoudly) {
+  // A stripe that can never publish (its final path is occupied by a
+  // directory, so every rename fails) must burn its attempts with
+  // backoff and then fail the whole run -- not spin forever.
+  const TempDir dir;
+  dist::CoordinatorOptions options = base_options(dir);
+  options.max_attempts = 2;
+  ASSERT_EQ(::mkdir(dist::stripe_final_path(options.workdir, 0).c_str(), 0755), 0);
+
+  EXPECT_THROW((void)dist::Coordinator(options).run(), std::runtime_error);
+
+  // The events log must record the retry/giveup trail.
+  const std::string events = read_file(options.workdir + "/events.jsonl");
+  EXPECT_NE(events.find("\"event\":\"retry\""), std::string::npos);
+  EXPECT_NE(events.find("\"event\":\"giveup\""), std::string::npos);
+}
+
+TEST(Reclaim, EveryWorkerDeadFailsInsteadOfHanging) {
+  const TempDir dir;
+  dist::CoordinatorOptions options = base_options(dir);
+  options.chaos = {dist::ChaosKill{0, 1, dist::ChaosMode::kill}};  // the only worker
+  EXPECT_THROW((void)dist::Coordinator(options).run(), std::runtime_error);
+}
+
+}  // namespace

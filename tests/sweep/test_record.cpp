@@ -150,6 +150,42 @@ TEST(SweepRecord, ScanRejectsConflictingDuplicates) {
   EXPECT_THROW((void)sweep::scan_records(file), std::invalid_argument);
 }
 
+TEST(SweepRecord, ScanRejectsRecordsWhoseEchoDoesNotReparse) {
+  // A structurally complete record whose experiment echo fails to
+  // re-parse is corruption, not a kill signature (a kill truncates, it
+  // cannot rewrite a line's middle) -- scan must throw with the line
+  // number, never silently skip the record.
+  const sweep::Grid grid = small_grid();
+  std::string corrupt = record_of(grid, 1);
+  const auto echo_key = corrupt.rfind("technique");  // inside the echo
+  ASSERT_NE(echo_key, std::string::npos);
+  corrupt[echo_key + 2] = 'X';  // "teXhnique": an unknown experiment key
+  ASSERT_TRUE(sweep::record_key(corrupt).has_value());  // still structurally complete
+
+  std::stringstream file;
+  file << record_of(grid, 0) << "\n" << corrupt << "\n" << record_of(grid, 2) << "\n";
+  try {
+    (void)sweep::scan_records(file);
+    FAIL() << "corrupt echo accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("does not re-parse"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SweepRecord, CorruptEchoAtTheTailStillThrows) {
+  // The partial-tail tolerance is for TRUNCATED lines only: a complete
+  // final record with a garbled echo is corruption even at the tail.
+  const sweep::Grid grid = small_grid();
+  std::string corrupt = record_of(grid, 1);
+  const auto echo_key = corrupt.rfind("technique");
+  ASSERT_NE(echo_key, std::string::npos);
+  corrupt[echo_key + 2] = 'X';
+  std::stringstream file;
+  file << record_of(grid, 0) << "\n" << corrupt << "\n";
+  EXPECT_THROW((void)sweep::scan_records(file), std::invalid_argument);
+}
+
 TEST(SweepRecord, MergeIsOrderIndependentAndSorted) {
   const sweep::Grid grid = small_grid();
   std::vector<std::string> records;

@@ -1,0 +1,147 @@
+// sweep::ShardWriter / write_lines_atomic: the durable-commit contract
+// record I/O rides on.  The final path must never be observable torn:
+// it either does not exist or holds a complete committed shard; an
+// uncommitted writer keeps its temp file as reclamation evidence.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/shard_io.hpp"
+
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = "/tmp/dls_shardio_XXXXXX";
+    path_ = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() { std::system(("rm -rf " + path_).c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+bool exists(const std::string& path) { return ::access(path.c_str(), F_OK) == 0; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ShardWriter, CommitPublishesAtomicallyAndRemovesTheTemp) {
+  const TempDir dir;
+  const std::string final_path = dir.path() + "/shard.jsonl";
+  sweep::ShardWriter writer(final_path);
+  writer.append_line("{\"a\":1}");
+  writer.append_line("{\"b\":2}");
+  // Before commit: data only in the temp file, final path absent.
+  EXPECT_FALSE(exists(final_path));
+  EXPECT_TRUE(exists(writer.temp_path()));
+  writer.commit();
+  EXPECT_TRUE(exists(final_path));
+  EXPECT_FALSE(exists(writer.temp_path()));
+  EXPECT_EQ(read_file(final_path), "{\"a\":1}\n{\"b\":2}\n");
+}
+
+TEST(ShardWriter, AppendLineIsFlushedImmediately) {
+  // Every append reaches the fd before returning, so a SIGKILL right
+  // after an append loses nothing already appended.
+  const TempDir dir;
+  sweep::ShardWriter writer(dir.path() + "/shard.jsonl");
+  writer.append_line("{\"a\":1}");
+  EXPECT_EQ(read_file(writer.temp_path()), "{\"a\":1}\n");
+}
+
+TEST(ShardWriter, StreamWritesAreDurableOnExplicitFlush) {
+  const TempDir dir;
+  sweep::ShardWriter writer(dir.path() + "/shard.jsonl");
+  writer.stream() << "{\"a\":" << 1 << "}\n" << std::flush;
+  EXPECT_EQ(read_file(writer.temp_path()), "{\"a\":1}\n");
+  writer.commit();
+  EXPECT_EQ(read_file(dir.path() + "/shard.jsonl"), "{\"a\":1}\n");
+}
+
+TEST(ShardWriter, AbortAndDestructionKeepTheTempAsEvidence) {
+  // A partial attempt is reclamation evidence, not garbage: the dist
+  // coordinator hands it to the retry as a resume source.
+  const TempDir dir;
+  const std::string final_path = dir.path() + "/shard.jsonl";
+  std::string temp_path;
+  {
+    sweep::ShardWriter writer(final_path);
+    writer.append_line("{\"a\":1}");
+    temp_path = writer.temp_path();
+  }  // destroyed without commit
+  EXPECT_FALSE(exists(final_path));
+  EXPECT_TRUE(exists(temp_path));
+  EXPECT_EQ(read_file(temp_path), "{\"a\":1}\n");
+
+  sweep::ShardWriter aborted(final_path);
+  aborted.append_line("{\"b\":2}");
+  aborted.abort();
+  EXPECT_FALSE(exists(final_path));
+  EXPECT_TRUE(exists(aborted.temp_path()));
+}
+
+TEST(ShardWriter, ExplicitTempPathSupportsPerAttemptFiles) {
+  const TempDir dir;
+  const std::string final_path = dir.path() + "/stripe0.jsonl";
+  sweep::ShardWriter attempt0(final_path, dir.path() + "/stripe0.attempt0.tmp");
+  sweep::ShardWriter attempt1(final_path, dir.path() + "/stripe0.attempt1.tmp");
+  attempt0.append_line("{\"a\":1}");
+  attempt1.append_line("{\"a\":1}");
+  attempt1.commit();
+  EXPECT_EQ(read_file(final_path), "{\"a\":1}\n");
+  // The uncommitted attempt still holds its bytes independently.
+  EXPECT_EQ(read_file(attempt0.temp_path()), "{\"a\":1}\n");
+}
+
+TEST(ShardWriter, IoErrorsThrowWithThePath) {
+  const TempDir dir;
+  // Unwritable temp location: constructor throws.
+  EXPECT_THROW(sweep::ShardWriter(dir.path() + "/no/such/dir/shard.jsonl"), std::runtime_error);
+  // Rename target occupied by a directory: commit throws.
+  const std::string final_path = dir.path() + "/taken.jsonl";
+  ASSERT_EQ(std::system(("mkdir " + final_path).c_str()), 0);
+  sweep::ShardWriter writer(final_path, dir.path() + "/taken.tmp");
+  writer.append_line("{\"a\":1}");
+  EXPECT_THROW(writer.commit(), std::runtime_error);
+}
+
+TEST(ShardWriter, WritingAfterCommitThrows) {
+  const TempDir dir;
+  sweep::ShardWriter writer(dir.path() + "/shard.jsonl");
+  writer.append_line("{\"a\":1}");
+  writer.commit();
+  EXPECT_THROW(writer.append_line("{\"b\":2}"), std::runtime_error);
+  EXPECT_THROW(writer.commit(), std::runtime_error);
+}
+
+TEST(WriteLinesAtomic, WritesAllLinesDurablyAndOverwrites) {
+  const TempDir dir;
+  const std::string path = dir.path() + "/out.jsonl";
+  sweep::write_lines_atomic(path, {"{\"a\":1}", "{\"b\":2}"});
+  EXPECT_EQ(read_file(path), "{\"a\":1}\n{\"b\":2}\n");
+  sweep::write_lines_atomic(path, {"{\"c\":3}"});
+  EXPECT_EQ(read_file(path), "{\"c\":3}\n");
+  EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(WriteLinesAtomic, FailuresThrowInsteadOfHalfWriting) {
+  EXPECT_THROW(sweep::write_lines_atomic("/no/such/dir/out.jsonl", {"x"}), std::runtime_error);
+}
+
+}  // namespace

@@ -9,16 +9,168 @@
 //   $ dls_check --runs 500 --seed 1
 //   dls_check: 500 scenarios, all invariants hold
 //
+// Two artifact-audit modes check the distributed sweep's outputs
+// (check/dist.hpp) instead of generating scenarios:
+//
+//   $ dls_check records merged.jsonl --spec grid.sweep
+//   $ dls_check records --attempts stripe2.attempt0.tmp stripe2.attempt1.tmp
+//   $ dls_check leases workdir/events.jsonl
+//
 // Exit codes: 0 = all invariants hold, 1 = violations found (or the
 // checker itself failed), 2 = bad command line.
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "check/dist.hpp"
 #include "check/runner.hpp"
+#include "dist/protocol.hpp"
 #include "support/flags.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/record.hpp"
+
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// `dls_check records`: audit merged sweep outputs (no duplicate
+// (cell, backend); with --spec, exact grid coverage) or, with
+// --attempts, the attempt files of one stripe (overlapping records
+// byte-identical across attempts -- the reclaimed-stripe contract).
+int records_mode(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("spec", "", "grid spec; also check the merged output covers it exactly");
+  flags.define("attempts", "false",
+               "treat the files as attempt files of ONE stripe and check cross-attempt "
+               "byte consistency (torn tails tolerated via scan_records)");
+  flags.define("help", "false", "print this help");
+  std::vector<std::string> files;
+  bool attempts_mode = false;
+  std::string spec_path;
+  try {
+    flags.parse(argc, argv);
+    if (flags.get_bool("help")) {
+      std::cout << "usage: dls_check records <merged.jsonl>... [--spec <grid>]\n"
+                   "       dls_check records --attempts <attempt-file>...\n"
+                << flags.usage();
+      return EXIT_SUCCESS;
+    }
+    // positional()[0] is the mode word "records".
+    files.assign(flags.positional().begin() + 1, flags.positional().end());
+    attempts_mode = flags.get_bool("attempts");
+    spec_path = flags.get("spec");
+    if (files.empty()) throw std::invalid_argument("records mode needs at least one file");
+    if (attempts_mode && !spec_path.empty()) {
+      throw std::invalid_argument("--attempts and --spec are mutually exclusive");
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_check: " << e.what() << "\n" << flags.usage();
+    return 2;
+  }
+
+  try {
+    if (attempts_mode) {
+      std::vector<std::vector<std::string>> attempts;
+      for (const std::string& path : files) {
+        std::ifstream in(path);
+        if (!in) throw std::invalid_argument("cannot open " + path);
+        attempts.push_back(sweep::scan_records(in).lines);
+      }
+      if (const auto violation = check::check_attempt_consistency(attempts)) {
+        std::cerr << "dls_check: attempt_consistency: " << *violation << "\n";
+        return EXIT_FAILURE;
+      }
+      std::cout << "dls_check: " << files.size()
+                << " attempt file(s), attempt_consistency holds\n";
+      return EXIT_SUCCESS;
+    }
+
+    sweep::Grid grid;
+    if (!spec_path.empty()) {
+      std::ifstream in(spec_path);
+      if (!in) throw std::invalid_argument("cannot open " + spec_path);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      grid = sweep::parse_grid(buffer.str());
+    }
+    for (const std::string& path : files) {
+      const std::vector<std::string> lines = read_lines(path);
+      const auto violation = spec_path.empty() ? check::check_merged_unique_cells(lines)
+                                               : check::check_merged_complete(grid, lines);
+      if (violation) {
+        std::cerr << "dls_check: " << path << ": "
+                  << (spec_path.empty() ? "merged_unique" : "merged_complete") << ": "
+                  << *violation << "\n";
+        return EXIT_FAILURE;
+      }
+    }
+    std::cout << "dls_check: " << files.size() << " merged file(s), "
+              << (spec_path.empty() ? "merged_unique" : "merged_complete") << " holds\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "dls_check: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
+
+// `dls_check leases`: replay a coordinator lease-event log and check
+// no stripe was ever held by two live workers (check/dist.hpp).
+int leases_mode(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("help", "false", "print this help");
+  std::vector<std::string> files;
+  try {
+    flags.parse(argc, argv);
+    if (flags.get_bool("help")) {
+      std::cout << "usage: dls_check leases <events.jsonl>...\n" << flags.usage();
+      return EXIT_SUCCESS;
+    }
+    files.assign(flags.positional().begin() + 1, flags.positional().end());
+    if (files.empty()) throw std::invalid_argument("leases mode needs at least one events log");
+  } catch (const std::exception& e) {
+    std::cerr << "dls_check: " << e.what() << "\n" << flags.usage();
+    return 2;
+  }
+
+  try {
+    for (const std::string& path : files) {
+      std::vector<dist::LeaseEvent> events;
+      for (const std::string& line : read_lines(path)) {
+        // Non-events (a tail torn by a coordinator kill) are tolerated,
+        // like record tails.
+        if (auto event = dist::parse_lease_event(line)) events.push_back(std::move(*event));
+      }
+      if (const auto violation = check::check_lease_exclusivity(events)) {
+        std::cerr << "dls_check: " << path << ": lease_exclusivity: " << *violation << "\n";
+        return EXIT_FAILURE;
+      }
+      std::cout << "dls_check: " << path << ": " << events.size()
+                << " event(s), lease_exclusivity holds\n";
+    }
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "dls_check: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "records") == 0) return records_mode(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "leases") == 0) return leases_mode(argc, argv);
   support::Flags flags;
   flags.define("runs", "100", "number of scenarios to generate and check");
   flags.define("seed", "1", "scenario stream seed");

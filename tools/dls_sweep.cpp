@@ -13,6 +13,16 @@
 //   dls_sweep grid.sweep --list                          # show the cells, don't run
 //   dls_sweep grid.sweep --out r.jsonl --backend hagerup  # fixed execution backend
 //   dls_sweep bench specs.sweep --name BM_E2ESweep --group tasks --json BENCH.json
+//   dls_sweep coordinate grid.sweep --out all.jsonl --workdir wd --workers 4
+//   dls_sweep work grid.sweep --dir wd        # one worker (normally exec'd by coordinate)
+//
+// `coordinate` runs the grid fault-tolerantly across worker processes
+// (dist/coordinator.hpp): stripes of the grid are leased to workers,
+// dead or hung workers are detected by heartbeat deadline and their
+// leases reclaimed (resuming past every record the dead worker
+// flushed), retries back off exponentially, and the merged output is
+// bitwise identical to a serial run of the same spec -- even with
+// --chaos fault injection killing workers at seeded points.
 //
 // `backend` is both an experiment key and a sweep axis: a spec line
 // `sweep backend mw hagerup` runs every scientific cell on both
@@ -42,10 +52,14 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.hpp"
+#include "dist/protocol.hpp"
+#include "dist/worker.hpp"
 #include "support/bench_json.hpp"
 #include "support/flags.hpp"
 #include "sweep/record.hpp"
 #include "sweep/runner.hpp"
+#include "sweep/shard_io.hpp"
 #include "sweep/stripe.hpp"
 
 namespace {
@@ -57,6 +71,8 @@ void print_usage(std::ostream& out, const support::Flags& flags) {
   out << "usage: dls_sweep <spec-file | -> [options]        run a grid\n"
          "       dls_sweep merge --out <file> <shard>...    merge shard outputs\n"
          "       dls_sweep bench <spec-file> --name <BM_X> --group <axis> --json <file>\n"
+         "       dls_sweep coordinate <spec-file> --out <file> --workdir <dir> [options]\n"
+         "       dls_sweep work <spec-file> --dir <dir>     one worker process\n"
          "\n"
          "Expands 'sweep <key> <v1> <v2> ...' lines of an experiment file into\n"
          "a cartesian grid of batched runs; one JSONL record per cell.\n"
@@ -225,6 +241,15 @@ int run_mode(const support::Flags& flags) {
     const sweep::SweepRunner runner(options);
     owned_total = runner.owned_cells(grid);
     const std::size_t computed = runner.run(grid, previous.done, out, observer);
+    // The runner's committer checks the stream per record, but the last
+    // records may still sit in the ostream buffer -- a full disk or a
+    // yanked volume must not exit 0 with a silently short output.
+    out.flush();
+    if (!out) {
+      std::cerr << "dls_sweep: " << (out_path.empty() ? "<stdout>" : out_path)
+                << ": flushing the sweep output failed (disk full?)\n";
+      return kExitRunError;
+    }
     if (!quiet) {
       std::cerr << "dls_sweep: computed " << computed << " cell(s), skipped "
                 << previous.done.size() << " of " << grid.cells() << "\n";
@@ -288,19 +313,18 @@ int merge_mode(const support::Flags& flags) {
   }
 
   const std::string out_path = flags.get("out");
-  std::ofstream file;
-  if (!out_path.empty()) {
-    file.open(out_path, std::ios::trunc);
-    if (!file) {
-      std::cerr << "dls_sweep: cannot write " << out_path << "\n";
-      return kExitRunError;
+  try {
+    if (out_path.empty()) {
+      for (const std::string& line : merged) std::cout << line << '\n';
+      std::cout.flush();
+      if (!std::cout) throw std::runtime_error("writing the merged output to stdout failed");
+    } else {
+      // Atomic, durable publish (temp + fsync + rename): a crash
+      // mid-write must not leave a torn file that looks merged.
+      sweep::write_lines_atomic(out_path, merged);
     }
-  }
-  std::ostream& out = out_path.empty() ? std::cout : file;
-  for (const std::string& line : merged) out << line << '\n';
-  out.flush();
-  if (!out) {
-    std::cerr << "dls_sweep: writing the merged output failed\n";
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
     return kExitRunError;
   }
   std::cerr << "dls_sweep: merged " << merged.size() << " record(s) from " << shards.size()
@@ -417,9 +441,154 @@ int bench_mode(const support::Flags& flags) {
   return EXIT_SUCCESS;
 }
 
+// `dls_sweep coordinate`: the fault-tolerant multi-process front end
+// (dist/coordinator.hpp).  Own flag set -- its options are disjoint
+// from run mode's.
+int coordinate_mode(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("out", "", "merged output file (required; written atomically at the end)");
+  flags.define("workdir", "", "stripe shard files + events log (required; created if missing)");
+  flags.define("workers", "2", "worker processes to spawn");
+  flags.define("stripes", "0", "lease granularity (0 = min(4*workers, cells))");
+  flags.define("threads", "0", "SweepRunner width per worker (0 = spec / hardware)");
+  flags.define("heartbeat-ms", "200", "worker heartbeat interval");
+  flags.define("deadline-ms", "2000",
+               "a worker silent past this is killed and its lease reclaimed");
+  flags.define("max-attempts", "5", "lease attempts per stripe before the run fails");
+  flags.define("backoff-ms", "250", "retry backoff base (doubles per attempt)");
+  flags.define("backoff-cap-ms", "5000", "retry backoff cap");
+  flags.define("chaos", "",
+               "fault injection: <worker>:<after_cells>[:<mode>],...  (mode: kill|truncate|hang)");
+  flags.define("chaos-seed", "0", "derive --chaos-kills directives from this seed");
+  flags.define("chaos-kills", "0", "number of seeded workers to fault (with --chaos-seed)");
+  flags.define("events", "", "lease-event log path (default <workdir>/events.jsonl)");
+  flags.define("backend", "", "fixed execution backend forwarded to the workers");
+  flags.define("quiet", "false", "suppress lease-event narration on stderr");
+
+  dist::CoordinatorOptions options;
+  bool quiet = false;
+  try {
+    flags.parse(argc, argv);
+    // positional()[0] is the mode word "coordinate".
+    if (flags.positional().size() != 2) {
+      throw std::invalid_argument("coordinate needs exactly one spec file");
+    }
+    options.spec_path = flags.positional()[1];
+    options.out_path = flags.get("out");
+    options.workdir = flags.get("workdir");
+    options.events_path = flags.get("events");
+    options.backend = flags.get("backend");
+    if (options.out_path.empty() || options.workdir.empty()) {
+      throw std::invalid_argument("coordinate needs --out and --workdir");
+    }
+    options.workers = static_cast<std::size_t>(flags.get_int("workers"));
+    if (options.workers == 0) throw std::invalid_argument("--workers must be >= 1");
+    options.stripes = static_cast<std::size_t>(flags.get_int("stripes"));
+    options.worker_threads = static_cast<unsigned>(flags.get_int("threads"));
+    options.heartbeat_interval = std::chrono::milliseconds(flags.get_int("heartbeat-ms"));
+    options.lease_deadline = std::chrono::milliseconds(flags.get_int("deadline-ms"));
+    options.max_attempts = static_cast<std::size_t>(flags.get_int("max-attempts"));
+    if (options.max_attempts == 0) throw std::invalid_argument("--max-attempts must be >= 1");
+    options.backoff_base = std::chrono::milliseconds(flags.get_int("backoff-ms"));
+    options.backoff_cap = std::chrono::milliseconds(flags.get_int("backoff-cap-ms"));
+    const std::string chaos_list = flags.get("chaos");
+    const auto chaos_kills = static_cast<std::size_t>(flags.get_int("chaos-kills"));
+    if (!chaos_list.empty() && chaos_kills > 0) {
+      throw std::invalid_argument("--chaos and --chaos-kills are mutually exclusive");
+    }
+    if (!chaos_list.empty()) {
+      options.chaos = dist::parse_chaos_list(chaos_list);
+    } else if (chaos_kills > 0) {
+      // Seeded points early in each victim's life (within its first 3
+      // computed cells) -- early faults exercise reclamation hardest.
+      options.chaos = dist::derive_chaos(static_cast<std::uint64_t>(flags.get_int("chaos-seed")),
+                                         chaos_kills, options.workers, 3);
+    }
+    quiet = flags.get_bool("quiet");
+    // Parse the spec here too, so a bad spec is a usage error (exit 2,
+    // naming the offending line) like run mode, not a run error an
+    // hour of worker-spawning later.
+    std::string grid_text = read_input(options.spec_path);
+    if (!options.backend.empty()) grid_text += "\nbackend " + options.backend + "\n";
+    (void)sweep::parse_grid(grid_text);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+
+  if (!quiet) {
+    options.on_event = [](const dist::LeaseEvent& event) {
+      std::cerr << "dls_sweep: [" << event.seq << "] " << event.kind;
+      if (event.worker != dist::LeaseEvent::npos) std::cerr << " worker=" << event.worker;
+      if (event.stripe != dist::LeaseEvent::npos) std::cerr << " stripe=" << event.stripe;
+      if (event.attempt != dist::LeaseEvent::npos) std::cerr << " attempt=" << event.attempt;
+      if (event.backoff_ms >= 0) std::cerr << " backoff_ms=" << event.backoff_ms;
+      if (!event.detail.empty()) std::cerr << " (" << event.detail << ")";
+      std::cerr << "\n";
+    };
+  }
+
+  try {
+    dist::Coordinator coordinator(options);
+    const dist::CoordinatorReport report = coordinator.run();
+    if (!quiet) {
+      std::cerr << "dls_sweep: coordinated " << report.stripes << " stripe(s): " << report.computed
+                << " cell(s) computed, " << report.merged_records << " record(s) merged, "
+                << report.reclaims << " reclaim(s), " << report.retries << " retry(ies), "
+                << report.adopted << " adoption(s), " << report.workers_lost
+                << " worker(s) lost\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitRunError;
+  }
+  return EXIT_SUCCESS;
+}
+
+// `dls_sweep work`: one worker process serving the lease protocol on
+// stdin/stdout (dist/worker.hpp).  Normally exec'd by `coordinate`;
+// runnable by hand for debugging.
+int work_mode(int argc, char** argv) {
+  support::Flags flags;
+  flags.define("dir", "", "shard-file directory shared with the coordinator (required)");
+  flags.define("threads", "1", "SweepRunner width per lease (0 = spec / hardware)");
+  flags.define("heartbeat-ms", "200", "heartbeat interval");
+  flags.define("backend", "", "fixed execution backend (appended to the spec)");
+  flags.define("chaos-after", "0", "fault injection: misbehave after N computed cells (0 = off)");
+  flags.define("chaos-mode", "kill", "fault mode: kill | truncate | hang");
+
+  dist::WorkerOptions options;
+  try {
+    flags.parse(argc, argv);
+    if (flags.positional().size() != 2) {
+      throw std::invalid_argument("work needs exactly one spec file");
+    }
+    options.spec_text = read_input(flags.positional()[1]);
+    if (const std::string backend = flags.get("backend"); !backend.empty()) {
+      options.spec_text += "\nbackend " + backend + "\n";
+    }
+    options.workdir = flags.get("dir");
+    if (options.workdir.empty()) throw std::invalid_argument("work needs --dir");
+    options.threads = static_cast<unsigned>(flags.get_int("threads"));
+    options.heartbeat_interval = std::chrono::milliseconds(flags.get_int("heartbeat-ms"));
+    if (const auto after = static_cast<std::size_t>(flags.get_int("chaos-after")); after > 0) {
+      options.chaos =
+          dist::ChaosKill{0, after, dist::parse_chaos_mode(flags.get("chaos-mode"))};
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep: " << e.what() << "\n";
+    return kExitUsageError;
+  }
+  return dist::run_worker(options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // coordinate/work carry their own flag sets; dispatch before the
+  // run-mode flags can reject them.
+  if (argc > 1 && std::strcmp(argv[1], "coordinate") == 0) return coordinate_mode(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "work") == 0) return work_mode(argc, argv);
   support::Flags flags;
   flags.define("out", "", "output file (JSONL for run/merge; empty = stdout)");
   flags.define("resume", "false", "skip cells already present in --out");
