@@ -1,0 +1,93 @@
+#include "check/net.hpp"
+
+#include <set>
+#include <tuple>
+
+namespace check {
+namespace {
+
+using dist::LeaseEvent;
+
+[[nodiscard]] std::string describe(const LeaseEvent& event) {
+  std::string out = "seq " + std::to_string(event.seq) + " " + event.kind;
+  if (event.worker != LeaseEvent::npos) out += " worker=" + std::to_string(event.worker);
+  if (event.stripe != LeaseEvent::npos) out += " stripe=" + std::to_string(event.stripe);
+  if (event.attempt != LeaseEvent::npos) out += " attempt=" + std::to_string(event.attempt);
+  if (!event.detail.empty()) out += " detail=" + event.detail;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> check_hello_before_lease(const std::vector<LeaseEvent>& events) {
+  // Per-worker handshake state.  Only workers spawned with detail
+  // "accept" (socket links) owe a HELLO; pipe workers never emit one
+  // and never need one.
+  std::set<std::size_t> accepted;  // socket links awaiting HELLO
+  std::set<std::size_t> helloed;
+  std::size_t last_seq = 0;
+  bool first = true;
+  for (const LeaseEvent& event : events) {
+    if (!first && event.seq <= last_seq) {
+      // Coordinator restart: the log is append-mode across runs.
+      accepted.clear();
+      helloed.clear();
+    }
+    first = false;
+    last_seq = event.seq;
+
+    if (event.kind == "spawn") {
+      if (event.detail == "accept") {
+        // A reconnecting client reuses no credentials: HELLO again.
+        accepted.insert(event.worker);
+        helloed.erase(event.worker);
+      }
+      continue;
+    }
+    if (event.kind == "hello") {
+      if (!accepted.contains(event.worker)) {
+        return "hello_before_lease: " + describe(event) +
+               " -- hello from a worker never accepted on a socket";
+      }
+      helloed.insert(event.worker);
+      continue;
+    }
+    if (event.kind == "dead") {
+      accepted.erase(event.worker);
+      helloed.erase(event.worker);
+      continue;
+    }
+    if (event.kind == "lease") {
+      if (accepted.contains(event.worker) && !helloed.contains(event.worker)) {
+        return "hello_before_lease: " + describe(event) +
+               " -- lease granted to a socket worker before its HELLO";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_fetch_before_done(const std::vector<LeaseEvent>& events) {
+  std::set<std::tuple<std::size_t, std::size_t, std::size_t>> fetches;
+  std::size_t last_seq = 0;
+  bool first = true;
+  for (const LeaseEvent& event : events) {
+    if (!first && event.seq <= last_seq) fetches.clear();
+    first = false;
+    last_seq = event.seq;
+
+    if (event.kind == "fetch") {
+      fetches.insert({event.worker, event.stripe, event.attempt});
+      continue;
+    }
+    if (event.kind == "done" && event.detail == "fetched") {
+      if (!fetches.contains({event.worker, event.stripe, event.attempt})) {
+        return "fetch_before_done: " + describe(event) +
+               " -- remote stripe committed without a preceding fetch";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace check

@@ -11,11 +11,15 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "dist/transport.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
 #include "sweep/grid.hpp"
 #include "sweep/record.hpp"
 #include "sweep/shard_io.hpp"
@@ -32,29 +36,27 @@ constexpr std::size_t npos = LeaseEvent::npos;
   return what + ": " + std::strerror(errno);
 }
 
-/// Blocking full write with EINTR retry; false on EPIPE/any error.
-[[nodiscard]] bool write_all(int fd, const std::string& text) {
-  std::size_t written = 0;
-  while (written < text.size()) {
-    const ssize_t n = ::write(fd, text.data() + written, text.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-struct WorkerProc {
+/// One supervised worker, local or remote.  Local workers are forked
+/// processes behind a PipeTransport (pid > 0); remote workers are
+/// accepted sockets behind a SocketTransport (pid == -1).  The lease
+/// logic never looks past `transport`.
+struct WorkerLink {
   pid_t pid = -1;
-  int to_worker = -1;    ///< worker's stdin
-  int from_worker = -1;  ///< worker's stdout
-  std::string rx;        ///< partial-line receive buffer
+  std::unique_ptr<Transport> transport;
   bool alive = false;
+  bool hello = false;  ///< handshake done (always true for pipe workers)
   bool ready = false;
   std::size_t lease = npos;  ///< stripe currently held
   Clock::time_point last_msg;
+  Clock::time_point last_ping;
+
+  /// In-flight FETCH state: the DONE that triggered it (finalized only
+  /// after the stream verifies) and the chunk accumulator.
+  bool fetching = false;
+  DoneMsg fetch_done;
+  std::string fetch_bytes;
+  std::size_t fetch_total = 0;
+  std::uint64_t fetch_checksum = 0;
 };
 
 struct StripeState {
@@ -85,22 +87,24 @@ struct StripeState {
 /// RAII (any throw out of run() must not leak worker processes).
 class Run {
  public:
-  explicit Run(const CoordinatorOptions& options) : options_(options) {}
+  explicit Run(const CoordinatorOptions& options)
+      : options_(options), serving_(!options.listen.empty()) {}
 
   ~Run() {
-    for (WorkerProc& worker : workers_) {
+    for (WorkerLink& worker : workers_) {
       if (!worker.alive) continue;
-      ::kill(worker.pid, SIGKILL);
-      close_fds(worker);
-      int status = 0;
-      ::waitpid(worker.pid, &status, 0);
+      terminate(worker);
+      if (worker.pid > 0) {
+        int status = 0;
+        ::waitpid(worker.pid, &status, 0);
+      }
       worker.alive = false;
     }
   }
 
   CoordinatorReport run() {
     setup();
-    spawn_workers();
+    if (!serving_) spawn_workers();
     supervise();
     shutdown_workers();
     merge();
@@ -117,10 +121,10 @@ class Run {
     ::signal(SIGPIPE, SIG_IGN);
 
     spec_text_ = read_file(options_.spec_path);
-    std::string grid_text = spec_text_;
-    if (!options_.backend.empty()) grid_text += "\nbackend " + options_.backend + "\n";
+    grid_text_ = spec_text_;
+    if (!options_.backend.empty()) grid_text_ += "\nbackend " + options_.backend + "\n";
     try {
-      grid_ = sweep::parse_grid(grid_text);
+      grid_ = sweep::parse_grid(grid_text_);
     } catch (const std::exception& e) {
       throw std::runtime_error(std::string("spec: ") + e.what());
     }
@@ -158,13 +162,18 @@ class Run {
         }
       }
     }
+
+    if (serving_) {
+      listener_ = std::make_unique<net::Listener>(net::parse_host_port(options_.listen));
+      if (options_.on_listening) options_.on_listening(listener_->port());
+      last_live_ = now;
+    }
   }
 
   void spawn_workers() {
     std::vector<std::string> command = options_.worker_command;
     if (command.empty()) command = {self_exe()};
 
-    workers_.resize(options_.workers);
     for (std::size_t w = 0; w < options_.workers; ++w) {
       std::vector<std::string> argv = command;
       argv.insert(argv.end(), {"work", options_.spec_path, "--dir", options_.workdir});
@@ -205,19 +214,21 @@ class Run {
       }
       ::close(to_child[0]);
       ::close(from_child[1]);
-      // The child ends stay blocking; the coordinator's read end is
-      // nonblocking so one chatty worker cannot stall the loop, and
-      // both ends close on exec so later workers don't inherit them.
+      // The child ends stay blocking; the coordinator's ends close on
+      // exec so later workers don't inherit them (PipeTransport makes
+      // the read end nonblocking so one chatty worker cannot stall the
+      // loop).
       ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
       ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
-      ::fcntl(from_child[0], F_SETFL, O_NONBLOCK);
 
-      WorkerProc& worker = workers_[w];
+      WorkerLink worker;
       worker.pid = pid;
-      worker.to_worker = to_child[1];
-      worker.from_worker = from_child[0];
+      worker.transport = std::make_unique<PipeTransport>(from_child[0], to_child[1]);
       worker.alive = true;
+      worker.hello = true;  // pipes are born trusted -- same machine, same user
       worker.last_msg = Clock::now();
+      worker.last_ping = worker.last_msg;
+      workers_.push_back(std::move(worker));
       log({.kind = "spawn", .worker = w});
     }
   }
@@ -232,21 +243,61 @@ class Run {
 
   void supervise() {
     while (!all_done()) {
+      if (serving_) accept_new();
       dispatch();
-      if (!all_done() && live_workers() == 0) {
-        throw std::runtime_error(
-            "coordinate: every worker died; " + std::to_string(pending_stripes()) +
-            " stripe(s) unfinished (their partial shard files are kept in " + options_.workdir +
-            " -- re-running the coordinator resumes them)");
-      }
+      check_liveness_floor();
+      send_pings();
       poll_once();
       check_deadlines();
     }
   }
 
+  /// Classic mode fails the instant every spawned worker is dead (no
+  /// one can ever come back); serve mode tolerates an empty worker set
+  /// for accept_grace, because remote workers connect on their own
+  /// schedule and can reconnect after a crash.
+  void check_liveness_floor() {
+    if (all_done()) return;
+    if (live_workers() > 0) {
+      last_live_ = Clock::now();
+      return;
+    }
+    if (!serving_) {
+      throw std::runtime_error(
+          "coordinate: every worker died; " + std::to_string(pending_stripes()) +
+          " stripe(s) unfinished (their partial shard files are kept in " + options_.workdir +
+          " -- re-running the coordinator resumes them)");
+    }
+    if (Clock::now() - last_live_ >= options_.accept_grace) {
+      throw std::runtime_error(
+          "serve: no live worker for " + std::to_string(options_.accept_grace.count()) +
+          "ms; " + std::to_string(pending_stripes()) + " stripe(s) unfinished");
+    }
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = listener_->accept_nonblocking();
+      if (fd < 0) return;
+      WorkerLink worker;
+      worker.pid = -1;
+      // The write deadline doubles as the half-open guard on sends: a
+      // remote worker that stops draining for a whole lease deadline
+      // is treated as dead.
+      worker.transport = std::make_unique<SocketTransport>(
+          fd, std::max(options_.lease_deadline, std::chrono::milliseconds(1000)));
+      worker.alive = true;
+      worker.hello = false;  // must HELLO before anything else
+      worker.last_msg = Clock::now();
+      worker.last_ping = worker.last_msg;
+      workers_.push_back(std::move(worker));
+      log({.kind = "spawn", .worker = workers_.size() - 1, .detail = "accept"});
+    }
+  }
+
   [[nodiscard]] std::size_t live_workers() const {
-    return static_cast<std::size_t>(
-        std::count_if(workers_.begin(), workers_.end(), [](const WorkerProc& w) { return w.alive; }));
+    return static_cast<std::size_t>(std::count_if(
+        workers_.begin(), workers_.end(), [](const WorkerLink& w) { return w.alive; }));
   }
 
   [[nodiscard]] std::size_t pending_stripes() const {
@@ -268,7 +319,8 @@ class Run {
 
   [[nodiscard]] std::size_t find_idle_worker() const {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (workers_[w].alive && workers_[w].ready && workers_[w].lease == npos) return w;
+      const WorkerLink& worker = workers_[w];
+      if (worker.alive && worker.hello && worker.ready && worker.lease == npos) return w;
     }
     return npos;
   }
@@ -280,10 +332,15 @@ class Run {
     lease.stripe_count = stripes_;
     lease.attempt = stripe.attempts;
     lease.resume_attempts = stripe.prior_attempts;
-    if (!write_all(workers_[w].to_worker, encode(CoordinatorMsg(lease)) + "\n")) {
-      // The pipe is already broken: the worker is dead but its EOF has
+    if (!workers_[w].transport->send(encode(CoordinatorMsg(lease)))) {
+      // The link is already broken: the worker is dead but its EOF has
       // not been read yet.  Let the poll loop reap it; the stripe
-      // stays pending.
+      // stays pending.  (A socket send can also fail by write
+      // deadline -- that link never EOFs, so reap it here.)
+      if (workers_[w].pid < 0) {
+        terminate(workers_[w]);
+        on_worker_death(w, "exit");
+      }
       return;
     }
     stripe.status = StripeState::Status::leased;
@@ -294,15 +351,39 @@ class Run {
     log({.kind = "lease", .worker = w, .stripe = s, .attempt = lease.attempt});
   }
 
+  /// Keepalive probes, both transports, every heartbeat interval.  On
+  /// pipes these are belt-and-braces; on sockets they are load-bearing
+  /// twice over -- the worker's idle timeout counts on them, and a
+  /// half-open link eventually fails the send (caught here or at the
+  /// next lease grant).
+  void send_pings() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerLink& worker = workers_[w];
+      if (!worker.alive || !worker.hello) continue;
+      if (now - worker.last_ping < options_.heartbeat_interval) continue;
+      worker.last_ping = now;
+      if (!worker.transport->send(encode(CoordinatorMsg(PingMsg{}))) && worker.pid < 0) {
+        terminate(worker);
+        on_worker_death(w, "exit");
+      }
+    }
+  }
+
   void poll_once() {
     std::vector<pollfd> fds;
     std::vector<std::size_t> fd_workers;
+    if (serving_) {
+      fds.push_back(pollfd{listener_->fd(), POLLIN, 0});
+      fd_workers.push_back(npos);
+    }
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       if (!workers_[w].alive) continue;
-      fds.push_back(pollfd{workers_[w].from_worker, POLLIN, 0});
+      fds.push_back(pollfd{workers_[w].transport->poll_fd(), POLLIN, 0});
       fd_workers.push_back(w);
     }
-    const int timeout_ms = static_cast<int>(std::clamp<std::int64_t>(poll_timeout().count(), 1, 200));
+    const int timeout_ms =
+        static_cast<int>(std::clamp<std::int64_t>(poll_timeout().count(), 1, 200));
     const int n = ::poll(fds.data(), fds.size(), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) return;
@@ -310,17 +391,20 @@ class Run {
     }
     for (std::size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
+      if (fd_workers[i] == npos) continue;  // listener readiness; accept_new picks it up
       read_worker(fd_workers[i]);
     }
   }
 
   /// Sleep no longer than the next actionable instant: the earliest
-  /// worker deadline or stripe backoff expiry.
+  /// worker deadline, ping due, or stripe backoff expiry.
   [[nodiscard]] std::chrono::milliseconds poll_timeout() const {
     const Clock::time_point now = Clock::now();
     Clock::time_point next = now + std::chrono::milliseconds(200);
-    for (const WorkerProc& worker : workers_) {
-      if (worker.alive) next = std::min(next, worker.last_msg + options_.lease_deadline);
+    for (const WorkerLink& worker : workers_) {
+      if (!worker.alive) continue;
+      next = std::min(next, worker.last_msg + options_.lease_deadline);
+      if (worker.hello) next = std::min(next, worker.last_ping + options_.heartbeat_interval);
     }
     for (const StripeState& stripe : stripe_states_) {
       // Only future backoff expiries matter: a stripe that is ready NOW
@@ -335,49 +419,42 @@ class Run {
   }
 
   void read_worker(std::size_t w) {
-    WorkerProc& worker = workers_[w];
-    char buf[4096];
-    for (;;) {
-      const ssize_t n = ::read(worker.from_worker, buf, sizeof(buf));
-      if (n > 0) {
-        worker.rx.append(buf, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      if (n < 0 && errno == EINTR) continue;
-      // EOF (or a read error): the worker is gone.  Drain what it
-      // managed to say first -- a DONE flushed just before death must
-      // still count.
-      drain_lines(w);
-      on_worker_death(w, "exit");
-      return;
+    std::vector<std::string> messages;
+    const bool open = workers_[w].transport->drain(messages);
+    for (const std::string& message : messages) {
+      if (!workers_[w].alive) break;  // a message after death handling: ignore
+      handle_message(w, message);
     }
-    drain_lines(w);
-  }
-
-  void drain_lines(std::size_t w) {
-    WorkerProc& worker = workers_[w];
-    std::size_t start = 0;
-    for (;;) {
-      const auto newline = worker.rx.find('\n', start);
-      if (newline == std::string::npos) break;
-      const std::string line = worker.rx.substr(start, newline - start);
-      start = newline + 1;
-      if (!worker.alive) break;  // a message after death handling: ignore
-      handle_message(w, line);
+    if (!open && workers_[w].alive) {
+      // EOF or framing failure: the worker is gone.  Messages decoded
+      // before the failure were handled above -- a DONE flushed just
+      // before death must still count.
+      const bool garbled = !workers_[w].transport->error().empty();
+      terminate(workers_[w]);
+      on_worker_death(w, garbled ? "protocol" : "exit");
     }
-    worker.rx.erase(0, start);
   }
 
   void handle_message(std::size_t w, const std::string& line) {
-    WorkerProc& worker = workers_[w];
+    WorkerLink& worker = workers_[w];
     worker.last_msg = Clock::now();
     WorkerMsg msg;
     try {
       msg = parse_worker_msg(line);
     } catch (const std::exception&) {
       // A garbled control stream is a failed worker: kill and reclaim.
-      ::kill(worker.pid, SIGKILL);
+      terminate(worker);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+      handle_hello(w, *hello);
+      return;
+    }
+    if (!worker.hello) {
+      // A socket link must introduce itself before anything else; a
+      // client speaking leases without credentials is dropped.
+      terminate(worker);
       on_worker_death(w, "protocol");
       return;
     }
@@ -391,18 +468,66 @@ class Run {
       handle_done(w, *done);
       return;
     }
+    if (const auto* data = std::get_if<DataMsg>(&msg)) {
+      handle_data(w, *data);
+      return;
+    }
     const auto& fail = std::get<FailMsg>(msg);
-    if (worker.lease == fail.stripe) {
+    if (worker.lease == fail.stripe && !worker.fetching) {
       worker.lease = npos;
       reclaim(fail.stripe, w, "fail: " + fail.message);
     }
   }
 
+  void handle_hello(std::size_t w, const HelloMsg& hello) {
+    WorkerLink& worker = workers_[w];
+    if (worker.hello) {  // double HELLO, or HELLO on a pipe link
+      terminate(worker);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    if (hello.version != kProtocolVersion) {
+      terminate(worker);
+      on_worker_death(w, "version");
+      return;
+    }
+    if (!options_.token.empty() && hello.token != options_.token) {
+      terminate(worker);
+      on_worker_death(w, "auth");
+      return;
+    }
+    worker.hello = true;
+    log({.kind = "hello", .worker = w});
+    // The worker has no filesystem path to the spec: ship it.
+    if (!worker.transport->send(encode(CoordinatorMsg(SpecMsg{grid_text_})))) {
+      terminate(worker);
+      on_worker_death(w, "exit");
+    }
+  }
+
   void handle_done(std::size_t w, const DoneMsg& done) {
-    WorkerProc& worker = workers_[w];
-    if (worker.lease != done.stripe ||
-        stripe_states_[done.stripe].status != StripeState::Status::leased) {
+    WorkerLink& worker = workers_[w];
+    if (worker.lease != done.stripe || worker.fetching ||
+        stripe_states_[done.stripe].status != StripeState::Status::leased ||
+        stripe_states_[done.stripe].holder != w) {
       return;  // stale message for a lease already reclaimed
+    }
+    if (worker.pid < 0) {
+      // Remote worker: the published stripe lives on ITS disk.  Start
+      // the fetch; the lease stays held until the stream verifies, so
+      // a death mid-transfer reclaims the stripe automatically.
+      worker.fetching = true;
+      worker.fetch_done = done;
+      worker.fetch_bytes.clear();
+      worker.fetch_total = 0;
+      worker.fetch_checksum = 0;
+      log({.kind = "fetch", .worker = w, .stripe = done.stripe, .attempt = done.attempt});
+      if (!worker.transport->send(
+              encode(CoordinatorMsg(FetchMsg{done.stripe, done.attempt})))) {
+        terminate(worker);
+        on_worker_death(w, "exit");
+      }
+      return;
     }
     worker.lease = npos;
     StripeState& stripe = stripe_states_[done.stripe];
@@ -418,14 +543,86 @@ class Run {
     log({.kind = "done", .worker = w, .stripe = done.stripe, .attempt = done.attempt});
   }
 
+  void handle_data(std::size_t w, const DataMsg& data) {
+    WorkerLink& worker = workers_[w];
+    if (!worker.fetching || data.stripe != worker.fetch_done.stripe ||
+        data.attempt != worker.fetch_done.attempt || data.offset != worker.fetch_bytes.size() ||
+        (!worker.fetch_bytes.empty() && (data.total != worker.fetch_total ||
+                                         data.checksum != worker.fetch_checksum))) {
+      // Out-of-order, unsolicited, or self-inconsistent stream: this
+      // peer cannot be trusted with the data path.
+      terminate(worker);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    worker.fetch_total = data.total;
+    worker.fetch_checksum = data.checksum;
+    worker.fetch_bytes += data.bytes;
+    if (worker.fetch_bytes.size() < worker.fetch_total) return;  // more chunks coming
+    finish_fetch(w);
+  }
+
+  /// All chunks arrived: verify length + checksum + record validity +
+  /// stripe coverage, then commit atomically.  Any mismatch is a
+  /// protocol death -- the stripe is still leased, so it reclaims and
+  /// retries elsewhere.
+  void finish_fetch(std::size_t w) {
+    WorkerLink& worker = workers_[w];
+    const std::size_t s = worker.fetch_done.stripe;
+    worker.fetching = false;
+    if (worker.fetch_bytes.size() != worker.fetch_total ||
+        net::fnv1a64(worker.fetch_bytes) != worker.fetch_checksum) {
+      terminate(worker);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    std::vector<std::string> lines;
+    try {
+      std::istringstream in(worker.fetch_bytes);
+      const sweep::ScanResult scanned = sweep::scan_records(in);
+      if (scanned.dropped_partial_tail) throw std::runtime_error("torn final record");
+      sweep::validate_records_for_grid(grid_, scanned.lines);
+      if (!records_cover_stripe(scanned, s)) throw std::runtime_error("incomplete stripe");
+      lines = scanned.lines;
+    } catch (const std::exception&) {
+      terminate(worker);
+      on_worker_death(w, "protocol");
+      return;
+    }
+    sweep::write_lines_atomic(stripe_final_path(options_.workdir, s), lines);
+    worker.fetch_bytes.clear();
+    worker.lease = npos;
+    StripeState& stripe = stripe_states_[s];
+    stripe.status = StripeState::Status::done;
+    stripe.holder = npos;
+    report_.computed += worker.fetch_done.computed;
+    report_.fetched += 1;
+    log({.kind = "done",
+         .worker = w,
+         .stripe = s,
+         .attempt = worker.fetch_done.attempt,
+         .detail = "fetched"});
+  }
+
+  /// SIGKILL a local worker, hang up on a remote one.  The matching
+  /// waitpid (locals only) happens in on_worker_death.
+  void terminate(WorkerLink& worker) {
+    if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+    worker.transport->shutdown();
+  }
+
   void on_worker_death(std::size_t w, const std::string& reason) {
-    WorkerProc& worker = workers_[w];
+    WorkerLink& worker = workers_[w];
     if (!worker.alive) return;
     worker.alive = false;
-    close_fds(worker);
-    int status = 0;
-    ::waitpid(worker.pid, &status, 0);
+    worker.transport->shutdown();
+    if (worker.pid > 0) {
+      int status = 0;
+      ::waitpid(worker.pid, &status, 0);
+    }
     report_.workers_lost += 1;
+    worker.fetching = false;
+    worker.fetch_bytes.clear();
     // Reclaim BEFORE logging the death: in the event log a lease must
     // never outlive its holder (check::check_lease_exclusivity replays
     // exactly that ordering).
@@ -438,9 +635,10 @@ class Run {
   }
 
   /// Take back a lease whose holder died or failed: adopt the stripe
-  /// if the dead worker already published it, otherwise keep its
-  /// partial attempt file as a resume source and schedule a retry
-  /// behind capped exponential backoff.
+  /// if the dead worker already published it (locals only -- remote
+  /// publishes live on remote disks), otherwise keep its partial
+  /// attempt file as a resume source and schedule a retry behind
+  /// capped exponential backoff.
   void reclaim(std::size_t s, std::size_t w, const std::string& reason) {
     StripeState& stripe = stripe_states_[s];
     const std::size_t attempt = stripe.attempts == 0 ? 0 : stripe.attempts - 1;
@@ -480,40 +678,41 @@ class Run {
   void check_deadlines() {
     const Clock::time_point now = Clock::now();
     for (std::size_t w = 0; w < workers_.size(); ++w) {
-      WorkerProc& worker = workers_[w];
+      WorkerLink& worker = workers_[w];
       if (!worker.alive || now - worker.last_msg < options_.lease_deadline) continue;
       // Silent past the deadline: hung, not merely slow (heartbeats
-      // flow from a dedicated thread even during long cells).
-      ::kill(worker.pid, SIGKILL);
-      on_worker_death(w, "deadline");
+      // flow from a dedicated thread even during long cells).  An
+      // accepted link that never even said HELLO gets its own label --
+      // that is a port-scanner or a wedged client, not a lost worker.
+      terminate(worker);
+      on_worker_death(w, worker.hello ? "deadline" : "hello-timeout");
     }
   }
 
   // ---- completion --------------------------------------------------
 
   void shutdown_workers() {
-    for (WorkerProc& worker : workers_) {
+    for (WorkerLink& worker : workers_) {
       if (!worker.alive) continue;
-      (void)write_all(worker.to_worker, encode(CoordinatorMsg(QuitMsg{})) + "\n");
-      ::close(worker.to_worker);
-      worker.to_worker = -1;
+      (void)worker.transport->send(encode(CoordinatorMsg(QuitMsg{})));
     }
     const Clock::time_point grace_end = Clock::now() + std::chrono::milliseconds(2000);
-    for (WorkerProc& worker : workers_) {
+    for (WorkerLink& worker : workers_) {
       if (!worker.alive) continue;
-      int status = 0;
-      for (;;) {
-        const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
-        if (reaped == worker.pid || reaped < 0) break;
-        if (Clock::now() >= grace_end) {
-          ::kill(worker.pid, SIGKILL);
-          ::waitpid(worker.pid, &status, 0);
-          break;
+      if (worker.pid > 0) {
+        int status = 0;
+        for (;;) {
+          const pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+          if (reaped == worker.pid || reaped < 0) break;
+          if (Clock::now() >= grace_end) {
+            ::kill(worker.pid, SIGKILL);
+            ::waitpid(worker.pid, &status, 0);
+            break;
+          }
+          ::usleep(10 * 1000);
         }
-        ::usleep(10 * 1000);
       }
-      if (worker.from_worker >= 0) ::close(worker.from_worker);
-      worker.from_worker = -1;
+      worker.transport->shutdown();
       worker.alive = false;
     }
   }
@@ -572,16 +771,7 @@ class Run {
 
   // ---- helpers -----------------------------------------------------
 
-  [[nodiscard]] bool stripe_file_complete(std::size_t s) {
-    std::ifstream in(stripe_final_path(options_.workdir, s));
-    if (!in) return false;
-    sweep::ScanResult scanned;
-    try {
-      scanned = sweep::scan_records(in);
-      sweep::validate_records_for_grid(grid_, scanned.lines);
-    } catch (const std::exception&) {
-      return false;  // not adoptable; a retry will republish it
-    }
+  [[nodiscard]] bool records_cover_stripe(const sweep::ScanResult& scanned, std::size_t s) const {
     bool complete = true;
     const std::size_t backends = grid_.backend_count();
     sweep::for_each_owned_index(grid_, s, stripes_, [&](std::size_t index) {
@@ -593,11 +783,17 @@ class Run {
     return complete;
   }
 
-  static void close_fds(WorkerProc& worker) {
-    if (worker.to_worker >= 0) ::close(worker.to_worker);
-    if (worker.from_worker >= 0) ::close(worker.from_worker);
-    worker.to_worker = -1;
-    worker.from_worker = -1;
+  [[nodiscard]] bool stripe_file_complete(std::size_t s) {
+    std::ifstream in(stripe_final_path(options_.workdir, s));
+    if (!in) return false;
+    sweep::ScanResult scanned;
+    try {
+      scanned = sweep::scan_records(in);
+      sweep::validate_records_for_grid(grid_, scanned.lines);
+    } catch (const std::exception&) {
+      return false;  // not adoptable; a retry will republish it
+    }
+    return records_cover_stripe(scanned, s);
   }
 
   void log(LeaseEvent event) {
@@ -607,13 +803,17 @@ class Run {
   }
 
   const CoordinatorOptions& options_;
+  const bool serving_;
   std::string spec_text_;
+  std::string grid_text_;  ///< spec + backend line: what SPEC ships
   sweep::Grid grid_;
   std::size_t stripes_ = 1;
-  std::vector<WorkerProc> workers_;
+  std::unique_ptr<net::Listener> listener_;
+  std::vector<WorkerLink> workers_;
   std::vector<StripeState> stripe_states_;
   std::ofstream events_;
   std::size_t next_seq_ = 0;
+  Clock::time_point last_live_;
   CoordinatorReport report_;
 };
 

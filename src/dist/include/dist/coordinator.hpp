@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,23 +11,37 @@
 
 namespace dist {
 
-/// The coordinator of a distributed sweep (`dls_sweep coordinate`).
+/// The coordinator of a distributed sweep (`dls_sweep coordinate` /
+/// `dls_sweep serve`).
 ///
-/// Spawns worker processes (fork/exec over pipes -- the transport a
-/// socket listener would replace for multi-host runs), leases stripes
-/// of the grid to them, and supervises:
+/// Two worker sources behind one supervision loop: classic mode
+/// fork/execs local workers over pipes; serve mode (`listen` set)
+/// opens a TCP listener and adopts remote workers as they connect and
+/// pass the HELLO handshake (version + token).  Either way the
+/// coordinator leases stripes of the grid and supervises:
 ///
 ///  - liveness: any worker message resets its deadline clock; a worker
-///    silent past `lease_deadline` is SIGKILLed and its lease
-///    reclaimed (this is what catches hung workers, whose pipes never
-///    close).
+///    silent past `lease_deadline` is terminated (SIGKILL locally,
+///    hangup remotely) and its lease reclaimed.  The coordinator also
+///    PINGs every live worker each heartbeat interval -- pipes surface
+///    death as EOF, but a half-open TCP link never EOFs, so liveness
+///    must be probed in both directions (workers give up after an idle
+///    timeout; the coordinator reclaims by deadline).
 ///  - reclamation: a reclaimed stripe's partial attempt file is
 ///    reused, not discarded -- the retry lease names it and the new
 ///    worker resumes past every record the dead worker flushed
 ///    (sweep::scan_records drops at most one torn final line).  If the
 ///    dead worker had already PUBLISHED the stripe (death between the
 ///    atomic rename and the DONE message), the coordinator adopts the
-///    completed file instead of retrying.
+///    completed file instead of retrying.  Remote workers publish to
+///    their own disk, so their partials are unreachable; a reclaimed
+///    remote stripe recomputes from scratch.
+///  - the data path: remote workers share no filesystem, so a remote
+///    DONE triggers FETCH -- the stripe file streams back as ordered,
+///    checksummed DATA chunks, is verified (length, FNV-1a 64, record
+///    validity, stripe coverage), and only then committed locally via
+///    sweep::write_lines_atomic.  The stripe stays leased until the
+///    verify passes, so a death mid-stream reclaims like any other.
 ///  - retry: reclaimed stripes go back to the pending pool gated by
 ///    capped exponential backoff (protocol.hpp backoff_delay) and are
 ///    re-leased to surviving workers, up to `max_attempts` per stripe
@@ -37,11 +52,11 @@ namespace dist {
 ///    any reclaimed-stripe record that differs from a first-attempt
 ///    record aborts the run -- so the merged output of a sweep that
 ///    lost k of n workers is bitwise identical to an uninterrupted
-///    serial run, by construction and by check.
+///    serial run, by construction and by check, on either transport.
 ///
 /// Every decision is appended to a lease-event log (JSONL of
-/// protocol.hpp LeaseEvents) that check::check_lease_exclusivity can
-/// replay: no stripe is ever leased to two live workers.
+/// protocol.hpp LeaseEvents) that check::check_lease_exclusivity (and
+/// the transport invariants in check/net.hpp) can replay.
 struct CoordinatorOptions {
   std::string spec_path;  ///< grid spec file, passed verbatim to workers
   std::string out_path;   ///< merged output (written atomically at the end)
@@ -63,6 +78,20 @@ struct CoordinatorOptions {
   std::vector<std::string> worker_command;
   /// Observer invoked for every logged lease event (stderr narration).
   std::function<void(const LeaseEvent&)> on_event;
+
+  /// Serve mode: "host:port" to listen on (port 0 = kernel-assigned).
+  /// Empty = classic mode (fork local pipe workers).  In serve mode
+  /// `workers` only sizes the default stripe count; the actual worker
+  /// set is whoever connects and HELLOs.
+  std::string listen;
+  std::string token;  ///< required HELLO token ("" = accept any)
+  /// Serve mode failure horizon: abort when no live worker has been
+  /// connected for this long (replacing classic mode's instant
+  /// every-worker-died failure -- remote workers come and go).
+  std::chrono::milliseconds accept_grace{30000};
+  /// Called with the bound port once the listener is up -- how tests
+  /// (and --port-file) learn a port-0 listener's address.
+  std::function<void(std::uint16_t)> on_listening;
 };
 
 struct CoordinatorReport {
@@ -71,7 +100,8 @@ struct CoordinatorReport {
   std::size_t adopted = 0;         ///< stripes adopted complete (restart or death-after-publish)
   std::size_t reclaims = 0;        ///< leases taken back from dead/failed workers
   std::size_t retries = 0;         ///< retry leases granted
-  std::size_t workers_lost = 0;    ///< worker processes that died or were killed
+  std::size_t workers_lost = 0;    ///< worker processes/links that died or were killed
+  std::size_t fetched = 0;         ///< stripes streamed back over FETCH and verified
   std::size_t merged_records = 0;  ///< records in the final merged output
 };
 
@@ -81,8 +111,9 @@ class Coordinator {
 
   /// Run the sweep to completion and write the merged output.  Throws
   /// std::runtime_error (after killing surviving workers) when the run
-  /// cannot complete: spec errors, every worker lost, a stripe out of
-  /// attempts, conflicting records, or a merged-output write failure.
+  /// cannot complete: spec errors, every worker lost (or, serving, no
+  /// worker for accept_grace), a stripe out of attempts, conflicting
+  /// records, or a merged-output write failure.
   CoordinatorReport run();
 
  private:

@@ -28,16 +28,35 @@ namespace dist {
 /// Coordinator -> worker:
 ///   LEASE <stripe> <stripe_count> <attempt> <resume_attempts|->
 ///   QUIT
+///   PING                                     (keepalive probe)
+///   SPEC <spec bytes...>                     (socket only)
+///   FETCH <stripe> <attempt>                 (socket only)
 /// Worker -> coordinator:
 ///   READY
 ///   HB <computed_total>
 ///   DONE <stripe> <attempt> <computed> <skipped>
 ///   FAIL <stripe> <attempt> <message...>
+///   HELLO <version> <token|->                (socket only, first msg)
+///   DATA <stripe> <attempt> <offset> <total> <checksum> <bytes...>
+///                                            (socket only)
 ///
 /// `resume_attempts` is a comma-separated list of prior attempt
 /// numbers whose temp files the worker must scan and skip past
 /// (`-` = none): the lease carries the reclamation state, so a retry
 /// never recomputes records a dead worker already flushed.
+///
+/// The socket-only messages close the two gaps a TCP link opens
+/// against local pipes: no shared filesystem (SPEC ships the grid
+/// down; FETCH/DATA stream published stripes back up, verified by
+/// length + FNV-1a checksum before the coordinator commits them) and
+/// no ambient trust (HELLO carries a protocol version and a shared
+/// token; anything else as a link's first message is a protocol
+/// death).  SPEC and DATA carry binary tails -- embedded newlines and
+/// arbitrary record bytes -- which is exactly why sockets use
+/// length-delimited frames (net/frame.hpp) rather than newline
+/// framing.  PING is coordinator->worker keepalive on both transports:
+/// a half-open TCP link never EOFs, so liveness must be probed, not
+/// inferred from the stream state.
 
 /// Grant of stripe `stripe` of `stripe_count` (the sweep/stripe.hpp
 /// striping -- lease identity IS shard identity) as attempt `attempt`.
@@ -50,6 +69,34 @@ struct LeaseMsg {
 
 /// Orderly shutdown; the worker exits 0.
 struct QuitMsg {};
+
+/// Wire-format revision of the socket dialect.  Bumped when message
+/// layout changes incompatibly; HELLO carries it so a version-skewed
+/// worker is turned away at the door instead of failing mid-sweep.
+constexpr std::size_t kProtocolVersion = 1;
+
+/// Keepalive probe.  Workers ignore it (arrival alone resets their
+/// idle clock); its real job is to make the coordinator's send path
+/// touch every link periodically, so a half-open TCP connection
+/// surfaces as a send failure instead of idling forever.
+struct PingMsg {};
+
+/// The sweep spec, shipped to remote workers that share no filesystem
+/// with the coordinator.  The text is the full grid spec (with the
+/// backend line already appended), newlines included.
+struct SpecMsg {
+  std::string text;
+};
+
+/// Request the published stripe file for `(stripe, attempt)` to be
+/// streamed back as DATA chunks.  Sent after a verified-stale-free
+/// DONE from a remote worker; the stripe stays leased until the last
+/// chunk verifies, so a worker dying mid-stream reclaims like any
+/// other death.
+struct FetchMsg {
+  std::size_t stripe = 0;
+  std::size_t attempt = 0;
+};
 
 /// First message of a worker: the spec parsed, ready for leases.
 struct ReadyMsg {};
@@ -81,8 +128,31 @@ struct FailMsg {
   std::string message;
 };
 
-using CoordinatorMsg = std::variant<LeaseMsg, QuitMsg>;
-using WorkerMsg = std::variant<ReadyMsg, HeartbeatMsg, DoneMsg, FailMsg>;
+/// First message on a socket link, before anything else: protocol
+/// version + shared secret ("-" = no token).  The coordinator answers
+/// with SPEC; a wrong token or version gets the link dropped and an
+/// "auth"/"version" death logged.
+struct HelloMsg {
+  std::size_t version = kProtocolVersion;
+  std::string token;
+};
+
+/// One chunk of a streamed stripe file: bytes [offset, offset+size)
+/// of a `total`-byte file whose FNV-1a 64 checksum is `checksum`.
+/// Chunks arrive in order; `offset + bytes.size() == total` marks the
+/// last one, after which the coordinator verifies length + checksum +
+/// record validity and only then commits the stripe.
+struct DataMsg {
+  std::size_t stripe = 0;
+  std::size_t attempt = 0;
+  std::size_t offset = 0;
+  std::size_t total = 0;
+  std::uint64_t checksum = 0;
+  std::string bytes;
+};
+
+using CoordinatorMsg = std::variant<LeaseMsg, QuitMsg, PingMsg, SpecMsg, FetchMsg>;
+using WorkerMsg = std::variant<ReadyMsg, HeartbeatMsg, DoneMsg, FailMsg, HelloMsg, DataMsg>;
 
 [[nodiscard]] std::string encode(const CoordinatorMsg& msg);
 [[nodiscard]] std::string encode(const WorkerMsg& msg);
@@ -115,7 +185,11 @@ using WorkerMsg = std::variant<ReadyMsg, HeartbeatMsg, DoneMsg, FailMsg>;
 ///             then SIGKILL -- the death-mid-write case
 ///   hang      stop heartbeating and freeze -- the zombie case, which
 ///             only the coordinator's lease deadline can reclaim
-enum class ChaosMode { kill, truncate, hang };
+///   fetchcut  (socket workers) complete the stripe, then die after
+///             streaming only the first DATA chunk of the FETCH reply
+///             -- the mid-transfer-death case; the coordinator must
+///             discard the partial stream and retry the stripe
+enum class ChaosMode { kill, truncate, hang, fetchcut };
 
 struct ChaosKill {
   std::size_t worker = 0;
@@ -144,17 +218,26 @@ struct ChaosKill {
 /// clocks, so logs are deterministic under test.
 ///
 /// Kinds and their fields:
-///   spawn    worker              a worker process started
+///   spawn    worker [detail]     a worker process started (detail
+///                                "accept" = a socket worker connected)
+///   hello    worker              socket handshake verified (version +
+///                                token); precedes any lease to that
+///                                worker -- see check/net.hpp
 ///   ready    worker              its READY arrived
 ///   lease    worker stripe attempt          lease granted
 ///   done     worker stripe attempt          DONE verified, stripe complete
 ///   adopt    worker stripe attempt          published stripe found complete
 ///                                           on reclaim (or coordinator
 ///                                           restart: worker = npos)
+///   fetch    worker stripe attempt          FETCH issued for a remote
+///                                           stripe; the matching done
+///                                           carries detail "fetched"
 ///   reclaim  worker stripe attempt detail   lease taken back (detail:
 ///                                           exit|deadline|fail|invalid)
 ///   retry    stripe attempt backoff_ms      retry scheduled
 ///   dead     worker detail                  worker exited/was killed
+///                                           (detail adds: protocol|
+///                                           auth|version|hello-timeout)
 ///   giveup   stripe attempt                 retries exhausted
 ///   complete                                 all stripes done, merged
 struct LeaseEvent {

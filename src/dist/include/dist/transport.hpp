@@ -1,0 +1,17 @@
+#pragma once
+
+/// dist's view of the message link.  The transport machinery lives in
+/// dls::net (which knows nothing about leases or sweeps); dist code
+/// names the types through this alias header so the layering reads
+/// correctly at use sites: the coordinator holds dist::Transport
+/// links, some of which happen to be TCP.
+
+#include "net/transport.hpp"
+
+namespace dist {
+
+using Transport = net::Transport;
+using PipeTransport = net::PipeTransport;
+using SocketTransport = net::SocketTransport;
+
+}  // namespace dist

@@ -1,6 +1,7 @@
 #include "dist/protocol.hpp"
 
 #include <algorithm>
+#include <array>
 #include <charconv>
 #include <stdexcept>
 
@@ -74,8 +75,44 @@ std::string encode(const CoordinatorMsg& msg) {
     return "LEASE " + std::to_string(lease->stripe) + " " + std::to_string(lease->stripe_count) +
            " " + std::to_string(lease->attempt) + " " + join_attempts(lease->resume_attempts);
   }
+  if (std::holds_alternative<PingMsg>(msg)) return "PING";
+  if (const auto* spec = std::get_if<SpecMsg>(&msg)) return "SPEC " + spec->text;
+  if (const auto* fetch = std::get_if<FetchMsg>(&msg)) {
+    return "FETCH " + std::to_string(fetch->stripe) + " " + std::to_string(fetch->attempt);
+  }
   return "QUIT";
 }
+
+namespace {
+
+[[nodiscard]] std::string checksum_hex(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(value >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+[[nodiscard]] std::uint64_t parse_checksum_hex(std::string_view token, std::string_view line) {
+  if (token.empty() || token.size() > 16) {
+    throw bad_line("protocol: malformed checksum field", line);
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw bad_line("protocol: malformed checksum field", line);
+    }
+  }
+  return value;
+}
+
+}  // namespace
 
 std::string encode(const WorkerMsg& msg) {
   if (std::holds_alternative<ReadyMsg>(msg)) return "READY";
@@ -86,6 +123,15 @@ std::string encode(const WorkerMsg& msg) {
     return "DONE " + std::to_string(done->stripe) + " " + std::to_string(done->attempt) + " " +
            std::to_string(done->computed) + " " + std::to_string(done->skipped);
   }
+  if (const auto* hello = std::get_if<HelloMsg>(&msg)) {
+    return "HELLO " + std::to_string(hello->version) + " " +
+           (hello->token.empty() ? "-" : hello->token);
+  }
+  if (const auto* data = std::get_if<DataMsg>(&msg)) {
+    return "DATA " + std::to_string(data->stripe) + " " + std::to_string(data->attempt) + " " +
+           std::to_string(data->offset) + " " + std::to_string(data->total) + " " +
+           checksum_hex(data->checksum) + " " + data->bytes;
+  }
   const auto& fail = std::get<FailMsg>(msg);
   // The message is the tail of the line; newlines would break framing.
   std::string text = fail.message;
@@ -95,7 +141,17 @@ std::string encode(const WorkerMsg& msg) {
 
 CoordinatorMsg parse_coordinator_msg(std::string_view line) {
   if (line == "QUIT") return QuitMsg{};
+  if (line == "PING") return PingMsg{};
+  // SPEC carries a binary tail (the spec text, newlines and all) --
+  // peel it off before the space-splitting below would mangle it.
+  if (line.starts_with("SPEC ")) return SpecMsg{std::string(line.substr(5))};
   const std::vector<std::string_view> tokens = split(line);
+  if (tokens.size() == 3 && tokens[0] == "FETCH") {
+    FetchMsg fetch;
+    fetch.stripe = parse_uint(tokens[1], line);
+    fetch.attempt = parse_uint(tokens[2], line);
+    return fetch;
+  }
   if (tokens.size() == 5 && tokens[0] == "LEASE") {
     LeaseMsg lease;
     lease.stripe = parse_uint(tokens[1], line);
@@ -112,7 +168,40 @@ CoordinatorMsg parse_coordinator_msg(std::string_view line) {
 
 WorkerMsg parse_worker_msg(std::string_view line) {
   if (line == "READY") return ReadyMsg{};
+  // DATA carries a binary tail (raw stripe-file bytes) -- split off
+  // exactly five space-delimited header fields by hand, everything
+  // after the sixth space is payload.
+  if (line.starts_with("DATA ")) {
+    std::array<std::string_view, 5> fields;
+    std::size_t start = 5;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      const auto space = line.find(' ', start);
+      if (space == std::string_view::npos) {
+        throw bad_line("protocol: truncated DATA header", line.substr(0, std::min<std::size_t>(line.size(), 64)));
+      }
+      fields[i] = line.substr(start, space - start);
+      start = space + 1;
+    }
+    DataMsg data;
+    const std::string_view header = line.substr(0, start);
+    data.stripe = parse_uint(fields[0], header);
+    data.attempt = parse_uint(fields[1], header);
+    data.offset = parse_uint(fields[2], header);
+    data.total = parse_uint(fields[3], header);
+    data.checksum = parse_checksum_hex(fields[4], header);
+    data.bytes = std::string(line.substr(start));
+    if (data.offset > data.total || data.bytes.size() > data.total - data.offset) {
+      throw bad_line("protocol: DATA chunk overruns declared total", header);
+    }
+    return data;
+  }
   const std::vector<std::string_view> tokens = split(line);
+  if (tokens.size() == 3 && tokens[0] == "HELLO") {
+    HelloMsg hello;
+    hello.version = parse_uint(tokens[1], line);
+    hello.token = tokens[2] == "-" ? std::string() : std::string(tokens[2]);
+    return hello;
+  }
   if (tokens.size() == 2 && tokens[0] == "HB") {
     return HeartbeatMsg{parse_uint(tokens[1], line)};
   }
@@ -167,6 +256,7 @@ std::string_view chaos_mode_name(ChaosMode mode) {
     case ChaosMode::kill: return "kill";
     case ChaosMode::truncate: return "truncate";
     case ChaosMode::hang: return "hang";
+    case ChaosMode::fetchcut: return "fetchcut";
   }
   return "kill";
 }
@@ -175,8 +265,9 @@ ChaosMode parse_chaos_mode(std::string_view name) {
   if (name == "kill") return ChaosMode::kill;
   if (name == "truncate") return ChaosMode::truncate;
   if (name == "hang") return ChaosMode::hang;
+  if (name == "fetchcut") return ChaosMode::fetchcut;
   throw std::invalid_argument("chaos: unknown mode '" + std::string(name) +
-                              "' (kill | truncate | hang)");
+                              "' (kill | truncate | hang | fetchcut)");
 }
 
 std::vector<ChaosKill> parse_chaos_list(std::string_view text) {

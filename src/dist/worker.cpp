@@ -4,17 +4,18 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <cerrno>
 #include <condition_variable>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
+#include "net/socket.hpp"
 #include "sweep/record.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/shard_io.hpp"
@@ -22,39 +23,19 @@
 namespace dist {
 namespace {
 
-/// Line-atomic stdout sender shared by the main loop and the
-/// heartbeat thread.  Full-line write(2) with EINTR retry; a broken
-/// pipe means the coordinator is gone, so the worker just exits (via
-/// the default SIGPIPE disposition or the false return).
-class Sender {
- public:
-  bool send(const WorkerMsg& msg) {
-    const std::string line = encode(msg) + "\n";
-    const std::scoped_lock lock(mutex_);
-    std::size_t written = 0;
-    while (written < line.size()) {
-      const ssize_t n = ::write(STDOUT_FILENO, line.data() + written, line.size() - written);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      written += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
- private:
-  std::mutex mutex_;
-};
+/// DATA chunk size for streamed stripes.  Small enough that a
+/// mid-FETCH death (or fetchcut chaos) reliably leaves a partial
+/// stream, large enough that real stripes move in a handful of frames.
+constexpr std::size_t kFetchChunk = 64 * 1024;
 
 /// The heartbeat thread: one HB per interval, carrying the lifetime
 /// computed-cell count.  Chaos `hang` silences it (the coordinator
 /// must then reclaim by deadline, not by EOF).
 class Heartbeat {
  public:
-  Heartbeat(Sender& sender, std::chrono::milliseconds interval,
+  Heartbeat(Transport& transport, std::chrono::milliseconds interval,
             const std::atomic<std::size_t>& computed)
-      : sender_(sender), interval_(interval), computed_(computed) {
+      : transport_(transport), interval_(interval), computed_(computed) {
     thread_ = std::thread([this] { loop(); });
   }
 
@@ -80,12 +61,13 @@ class Heartbeat {
       if (stop_) return;
       if (silenced_) continue;
       lock.unlock();
-      (void)sender_.send(HeartbeatMsg{computed_.load(std::memory_order_relaxed)});
+      (void)transport_.send(
+          encode(WorkerMsg{HeartbeatMsg{computed_.load(std::memory_order_relaxed)}}));
       lock.lock();
     }
   }
 
-  Sender& sender_;
+  Transport& transport_;
   std::chrono::milliseconds interval_;
   const std::atomic<std::size_t>& computed_;
   std::thread thread_;
@@ -95,30 +77,93 @@ class Heartbeat {
   bool silenced_ = false;
 };
 
+[[nodiscard]] bool send_msg(Transport& transport, const WorkerMsg& msg) {
+  return transport.send(encode(msg));
+}
+
+/// Stream the published stripe file back as ordered DATA chunks.
+/// `fetchcut` chaos (already armed by the caller) dies after the first
+/// chunk -- the mid-transfer-death case the coordinator must recover
+/// from by discarding the partial stream and re-leasing the stripe.
+[[nodiscard]] bool answer_fetch(Transport& transport, const WorkerOptions& options,
+                                const FetchMsg& fetch, bool fetchcut_now) {
+  std::ifstream in(stripe_final_path(options.workdir, fetch.stripe), std::ios::binary);
+  if (!in) {
+    return send_msg(transport, FailMsg{fetch.stripe, fetch.attempt, "fetch: stripe file missing"});
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = std::move(buffer).str();
+  const std::uint64_t checksum = net::fnv1a64(bytes);
+  std::size_t offset = 0;
+  do {
+    DataMsg chunk;
+    chunk.stripe = fetch.stripe;
+    chunk.attempt = fetch.attempt;
+    chunk.offset = offset;
+    chunk.total = bytes.size();
+    chunk.checksum = checksum;
+    chunk.bytes = bytes.substr(offset, kFetchChunk);
+    offset += chunk.bytes.size();
+    if (!send_msg(transport, chunk)) return false;
+    if (fetchcut_now) ::raise(SIGKILL);
+  } while (offset < bytes.size());
+  return true;
+}
+
 }  // namespace
 
-int run_worker(const WorkerOptions& options) {
+int run_worker_on_transport(const WorkerOptions& options, Transport& transport, bool handshake,
+                            bool fetch_on_done) {
   sweep::Grid grid;
+  std::string spec_text = options.spec_text;
+
+  if (handshake) {
+    if (!transport.send(encode(WorkerMsg{HelloMsg{kProtocolVersion, options.token}}))) {
+      std::cerr << "dls_sweep work: coordinator hung up during handshake\n";
+      return 1;
+    }
+    // The SPEC reply supplies the grid -- connected workers share no
+    // filesystem with the coordinator.
+    std::string line;
+    const auto status = transport.recv(line, options.idle_timeout);
+    if (status != Transport::RecvStatus::ok) {
+      std::cerr << "dls_sweep work: no SPEC from coordinator ("
+                << (status == Transport::RecvStatus::timeout ? "timeout" : "closed") << ")\n";
+      return 1;
+    }
+    try {
+      const CoordinatorMsg msg = parse_coordinator_msg(line);
+      const auto* spec = std::get_if<SpecMsg>(&msg);
+      if (spec == nullptr) throw std::invalid_argument("expected SPEC, got '" + line + "'");
+      spec_text = spec->text;
+    } catch (const std::exception& e) {
+      std::cerr << "dls_sweep work: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   try {
-    grid = sweep::parse_grid(options.spec_text);
+    grid = sweep::parse_grid(spec_text);
   } catch (const std::exception& e) {
     std::cerr << "dls_sweep work: " << e.what() << "\n";
     return 1;
   }
 
-  Sender sender;
   std::atomic<std::size_t> computed_total{0};
-  Heartbeat heartbeat(sender, options.heartbeat_interval, computed_total);
+  Heartbeat heartbeat(transport, options.heartbeat_interval, computed_total);
 
   // Chaos state: the current writer so `truncate` can tear the live
-  // shard stream mid-record before dying.
+  // shard stream mid-record before dying.  `fetchcut` does not fire
+  // here -- it arms and then strikes inside the FETCH reply.
   sweep::ShardWriter* live_writer = nullptr;
   bool chaos_armed = options.chaos.has_value();
+  const auto chaos_due = [&] {
+    return chaos_armed &&
+           computed_total.load(std::memory_order_relaxed) >= options.chaos->after_cells;
+  };
   const auto maybe_chaos = [&] {
-    if (!chaos_armed ||
-        computed_total.load(std::memory_order_relaxed) < options.chaos->after_cells) {
-      return;
-    }
+    if (!chaos_due() || options.chaos->mode == ChaosMode::fetchcut) return;
     chaos_armed = false;
     switch (options.chaos->mode) {
       case ChaosMode::kill:
@@ -138,13 +183,34 @@ int run_worker(const WorkerOptions& options) {
         // the coordinator's lease deadline can reclaim this worker.
         heartbeat.silence();
         for (;;) ::pause();
+      case ChaosMode::fetchcut:
+        break;
     }
   };
 
-  if (!sender.send(ReadyMsg{})) return 1;
+  if (!send_msg(transport, ReadyMsg{})) return 1;
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
+  for (;;) {
+    std::string line;
+    const auto status = transport.recv(line, options.idle_timeout);
+    if (status == Transport::RecvStatus::closed) {
+      // EOF without QUIT: the coordinator is gone; exit quietly unless
+      // the stream itself was garbage.
+      if (!transport.error().empty()) {
+        std::cerr << "dls_sweep work: " << transport.error() << "\n";
+        return 1;
+      }
+      return 0;
+    }
+    if (status == Transport::RecvStatus::timeout) {
+      // Half-open-link guard: the coordinator pings every heartbeat
+      // interval, so a silence this long means the link is wedged even
+      // though the socket never EOF'd.
+      std::cerr << "dls_sweep work: coordinator idle past "
+                << options.idle_timeout.count() << "ms, giving up\n";
+      return 1;
+    }
+
     CoordinatorMsg msg;
     try {
       msg = parse_coordinator_msg(line);
@@ -153,6 +219,14 @@ int run_worker(const WorkerOptions& options) {
       return 1;
     }
     if (std::holds_alternative<QuitMsg>(msg)) return 0;
+    if (std::holds_alternative<PingMsg>(msg)) continue;  // arrival reset the idle clock
+    if (std::holds_alternative<SpecMsg>(msg)) continue;  // already have the grid
+    if (const auto* fetch = std::get_if<FetchMsg>(&msg)) {
+      const bool cut = chaos_due() && options.chaos->mode == ChaosMode::fetchcut;
+      if (cut) chaos_armed = false;
+      if (!answer_fetch(transport, options, *fetch, cut)) return 1;
+      continue;
+    }
     const auto& lease = std::get<LeaseMsg>(msg);
 
     try {
@@ -198,15 +272,38 @@ int run_worker(const WorkerOptions& options) {
       writer.commit();
       live_writer = nullptr;
       // Publish-then-report: the rename above is the durable state
-      // change, DONE is only the notification of it.
-      if (!sender.send(DoneMsg{lease.stripe, lease.attempt, computed, skipped})) return 1;
+      // change, DONE is only the notification of it.  In fetch mode
+      // the published file stays put -- it is the source the FETCH
+      // reply streams from.
+      (void)fetch_on_done;
+      if (!send_msg(transport, DoneMsg{lease.stripe, lease.attempt, computed, skipped})) return 1;
     } catch (const std::exception& e) {
       live_writer = nullptr;
-      if (!sender.send(FailMsg{lease.stripe, lease.attempt, e.what()})) return 1;
+      if (!send_msg(transport, FailMsg{lease.stripe, lease.attempt, e.what()})) return 1;
     }
   }
-  // EOF without QUIT: the coordinator is gone; exit quietly.
-  return 0;
+}
+
+int run_worker(const WorkerOptions& options) {
+  if (options.connect.empty()) {
+    PipeTransport transport(STDIN_FILENO, STDOUT_FILENO);
+    const int code = run_worker_on_transport(options, transport, /*handshake=*/false,
+                                             /*fetch_on_done=*/false);
+    // Leave stdio open for the process exit path; the transport closed
+    // the fds already, which is fine this late.
+    return code;
+  }
+  try {
+    const net::HostPort address = net::parse_host_port(options.connect);
+    const int fd =
+        net::connect_with_retry(address, options.connect_attempts, options.connect_backoff);
+    SocketTransport transport(fd);
+    return run_worker_on_transport(options, transport, /*handshake=*/true,
+                                   /*fetch_on_done=*/true);
+  } catch (const std::exception& e) {
+    std::cerr << "dls_sweep work: " << e.what() << "\n";
+    return 1;
+  }
 }
 
 }  // namespace dist

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace net {
+
+/// Plain TCP plumbing for the distributed sweep (dls::net): an
+/// address parser, a nonblocking listener, and a blocking connector
+/// with retry/backoff.  IPv4 only, no external dependencies -- the
+/// cluster front ends this serves are `dls_sweep serve`/`work`.
+
+struct HostPort {
+  std::string host;  ///< numeric dotted quad or a resolvable name
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port" ("" host = 0.0.0.0; port 0 = kernel-assigned for
+/// listeners).  Throws std::invalid_argument on malformed input.
+[[nodiscard]] HostPort parse_host_port(std::string_view text);
+
+/// Listening TCP socket: bind + listen, nonblocking accept.  The fd is
+/// nonblocking and close-on-exec, so a coordinator that forks local
+/// workers never leaks its listener into them.
+class Listener {
+ public:
+  /// Throws std::runtime_error (errno message) on bind/listen failure.
+  explicit Listener(const HostPort& address);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The bound port -- the kernel's pick when the address asked for 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// One nonblocking accept: the connection fd (nonblocking,
+  /// close-on-exec, TCP_NODELAY) or -1 when no connection is pending.
+  /// Throws std::runtime_error on a real accept error.
+  [[nodiscard]] int accept_nonblocking();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking connect with capped linear retry: a worker launched before
+/// (or during a restart of) its coordinator keeps knocking instead of
+/// failing the whole host's share of the sweep.  Returns a connected
+/// fd (nonblocking, close-on-exec, TCP_NODELAY); throws
+/// std::runtime_error naming the address after `attempts` failures.
+[[nodiscard]] int connect_with_retry(const HostPort& address, std::size_t attempts,
+                                     std::chrono::milliseconds backoff);
+
+}  // namespace net

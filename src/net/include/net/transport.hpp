@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace net {
+
+/// Transport-agnostic message link between a sweep coordinator and one
+/// worker.  Two implementations: PipeTransport (stdin/stdout pipes to
+/// a forked local worker, newline framing -- PR 6's wire format,
+/// unchanged) and SocketTransport (one TCP fd to a remote worker,
+/// length-delimited frames from net/frame.hpp).  The coordinator and
+/// worker loops only ever see this interface, so lease logic cannot
+/// diverge between local and distributed runs.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Send one protocol message (no trailing newline; the transport
+  /// frames it).  Thread-safe: the worker's heartbeat thread and main
+  /// loop share one link.  Returns false once the peer is gone --
+  /// callers treat that like a death and let the read side report it.
+  [[nodiscard]] virtual bool send(std::string_view message) = 0;
+
+  /// The fd to poll for readability (POLLIN) -- the coordinator
+  /// multiplexes many links through one poll() set.
+  [[nodiscard]] virtual int poll_fd() const = 0;
+
+  /// Nonblocking read: decode everything currently buffered by the
+  /// kernel and append complete messages to `out`.  Returns false when
+  /// the peer is finished -- either cleanly (EOF, error() == "") or
+  /// because the byte stream was garbage (error() nonempty).  Messages
+  /// decoded before the failure are still appended.
+  [[nodiscard]] virtual bool drain(std::vector<std::string>& out) = 0;
+
+  /// Tear the link down now (close fds).  Idempotent.  This is the
+  /// socket-side analogue of SIGKILL: a coordinator that would kill a
+  /// misbehaving local worker instead hangs up on a remote one.
+  virtual void shutdown() = 0;
+
+  /// Why drain() returned false: empty for a clean EOF, a framing
+  /// diagnostic for a corrupt stream.
+  [[nodiscard]] virtual const std::string& error() const = 0;
+
+  /// Human-readable peer label for logs ("pipe", "tcp:fd=7", ...).
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  enum class RecvStatus { ok, timeout, closed };
+
+  /// Blocking single-message receive with a timeout, built on
+  /// poll_fd()+drain() with an internal queue.  The worker side's main
+  /// loop uses this; the coordinator never does (it poll()s many links
+  /// at once and calls drain() directly -- mixing the two on one link
+  /// would strand messages in the internal queue).
+  [[nodiscard]] RecvStatus recv(std::string& out, std::chrono::milliseconds timeout);
+
+ protected:
+  std::deque<std::string> pending_;  ///< recv() lookahead only
+  bool recv_closed_ = false;
+};
+
+/// The PR 6 wire: newline-terminated ASCII over a pipe pair.  Owns
+/// both fds; the read side is made nonblocking on construction.
+class PipeTransport final : public Transport {
+ public:
+  /// `read_fd` carries peer->us bytes, `write_fd` us->peer.
+  PipeTransport(int read_fd, int write_fd);
+  ~PipeTransport() override;
+
+  [[nodiscard]] bool send(std::string_view message) override;
+  [[nodiscard]] int poll_fd() const override { return read_fd_; }
+  [[nodiscard]] bool drain(std::vector<std::string>& out) override;
+  void shutdown() override;
+  [[nodiscard]] const std::string& error() const override { return error_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::mutex send_mutex_;
+  int read_fd_;
+  int write_fd_;
+  LineDecoder decoder_;
+  std::string error_;
+  bool finished_ = false;
+};
+
+/// One connected TCP socket carrying length-delimited frames.  Owns
+/// the fd (nonblocking; see net/socket.hpp for how it is minted).
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(int fd,
+                           std::chrono::milliseconds write_deadline = std::chrono::seconds(10));
+  ~SocketTransport() override;
+
+  [[nodiscard]] bool send(std::string_view message) override;
+  [[nodiscard]] int poll_fd() const override { return fd_; }
+  [[nodiscard]] bool drain(std::vector<std::string>& out) override;
+  void shutdown() override;
+  [[nodiscard]] const std::string& error() const override { return error_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::mutex send_mutex_;
+  int fd_;
+  std::chrono::milliseconds write_deadline_;
+  FrameDecoder decoder_;
+  std::string error_;
+  bool finished_ = false;
+};
+
+}  // namespace net

@@ -1,0 +1,153 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace net {
+namespace {
+
+[[nodiscard]] std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void make_nonblocking_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+}
+
+void set_nodelay(int fd) {
+  // Control messages are tens of bytes; Nagle would serialize the
+  // lease/heartbeat chatter behind the data chunks.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+[[nodiscard]] sockaddr_in resolve(const HostPort& address) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(address.port);
+  const std::string host = address.host.empty() ? "0.0.0.0" : address.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  // Not a dotted quad: resolve the name (localhost, cluster DNS, ...).
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    throw std::runtime_error("cannot resolve host '" + host + "': " + ::gai_strerror(rc));
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(results->ai_addr)->sin_addr;
+  ::freeaddrinfo(results);
+  return addr;
+}
+
+}  // namespace
+
+HostPort parse_host_port(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    throw std::invalid_argument("address must be host:port, got '" + std::string(text) + "'");
+  }
+  HostPort out;
+  out.host = std::string(text.substr(0, colon));
+  const std::string_view port_text = text.substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] =
+      std::from_chars(port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc() || ptr != port_text.data() + port_text.size() || port_text.empty() ||
+      port > 65535) {
+    throw std::invalid_argument("malformed port in '" + std::string(text) + "'");
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+Listener::Listener(const HostPort& address) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error(errno_message("socket"));
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = resolve(address);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = errno_message("bind " + address.host + ":" +
+                                              std::to_string(address.port));
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  if (::listen(fd_, 64) != 0) {
+    const std::string message = errno_message("listen");
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string message = errno_message("getsockname");
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(message);
+  }
+  port_ = ntohs(addr.sin_port);
+  make_nonblocking_cloexec(fd_);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int Listener::accept_nonblocking() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      make_nonblocking_cloexec(fd);
+      set_nodelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    // A connection that died between arrival and accept is not an
+    // accept-loop failure.
+    if (errno == ECONNABORTED) continue;
+    throw std::runtime_error(errno_message("accept"));
+  }
+}
+
+int connect_with_retry(const HostPort& address, std::size_t attempts,
+                       std::chrono::milliseconds backoff) {
+  const sockaddr_in addr = resolve(address);
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(attempts, 1); ++attempt) {
+    if (attempt != 0 && backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error(errno_message("socket"));
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      make_nonblocking_cloexec(fd);
+      set_nodelay(fd);
+      return fd;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  throw std::runtime_error("cannot connect to " + address.host + ":" +
+                           std::to_string(address.port) + " after " + std::to_string(attempts) +
+                           " attempt(s): " + last_error);
+}
+
+}  // namespace net

@@ -1,0 +1,269 @@
+// Transport-layer tests: SocketTransport over a socketpair,
+// PipeTransport over a pipe pair, the clean-EOF vs garbled-stream
+// distinction drain() reports, connector retry exhaustion, and the
+// worker-side idle-timeout regression (a half-open TCP link never
+// EOFs -- the worker must give up on its own clock, not wait for a
+// hangup that never comes).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/worker.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+// A connected nonblocking AF_UNIX pair standing in for the TCP link
+// (same fd semantics, no port to leak between parallel tests).
+std::pair<int, int> socket_pair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+  return {fds[0], fds[1]};
+}
+
+TEST(SocketTransport, MessagesRoundTripBothWays) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport left(a);
+  net::SocketTransport right(b);
+
+  ASSERT_TRUE(left.send("LEASE 0 4 0 -"));
+  ASSERT_TRUE(left.send("PING"));
+  std::string message;
+  ASSERT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "LEASE 0 4 0 -");
+  ASSERT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "PING");
+
+  ASSERT_TRUE(right.send("HB 7"));
+  ASSERT_EQ(left.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "HB 7");
+}
+
+TEST(SocketTransport, BinaryPayloadsSurviveFraming) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport left(a);
+  net::SocketTransport right(b);
+  const std::string spec = std::string("SPEC tasks 8\nseed 1\n\0#\n", 24);
+  ASSERT_TRUE(left.send(spec));
+  std::string message;
+  ASSERT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, spec);
+}
+
+TEST(SocketTransport, RecvTimesOutOnASilentPeer) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport left(a);
+  net::SocketTransport right(b);
+  std::string message;
+  EXPECT_EQ(right.recv(message, 50ms), net::Transport::RecvStatus::timeout);
+  (void)left;
+}
+
+TEST(SocketTransport, CleanShutdownDrainsAsEofWithEmptyError) {
+  const auto [a, b] = socket_pair();
+  auto left = std::make_unique<net::SocketTransport>(a);
+  net::SocketTransport right(b);
+  ASSERT_TRUE(left->send("READY"));
+  left.reset();  // closes the fd: FIN between frames = orderly exit
+
+  std::vector<std::string> out;
+  // Wait for the FIN to be observable, then drain: the READY must
+  // arrive, then closure with error() empty (clean EOF, not garbage).
+  std::string message;
+  ASSERT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "READY");
+  EXPECT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::closed);
+  EXPECT_TRUE(right.error().empty()) << right.error();
+}
+
+TEST(SocketTransport, EofMidFrameIsAnError) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport right(b);
+  ASSERT_EQ(::write(a, "#100\npartial", 12), 12);
+  ::close(a);
+
+  std::string message;
+  EXPECT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::closed);
+  EXPECT_FALSE(right.error().empty());  // died mid-frame, not orderly
+}
+
+TEST(SocketTransport, GarbledStreamIsAProtocolErrorNotAnEof) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport right(b);
+  ASSERT_EQ(::write(a, "not a frame", 11), 11);
+
+  std::string message;
+  EXPECT_EQ(right.recv(message, 1000ms), net::Transport::RecvStatus::closed);
+  EXPECT_NE(right.error().find("frame"), std::string::npos) << right.error();
+  ::close(a);
+}
+
+TEST(SocketTransport, SendFailsOnceThePeerIsGone) {
+  const auto [a, b] = socket_pair();
+  net::SocketTransport left(a);
+  ::close(b);
+  // The first send may still land in the kernel buffer; hammering a
+  // closed peer must turn into failure, never a SIGPIPE crash.
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) failed = !left.send("PING");
+  EXPECT_TRUE(failed);
+}
+
+TEST(PipeTransport, LinesRoundTripAndEofIsClean) {
+  int down[2];  // test -> transport
+  ASSERT_EQ(::pipe(down), 0);
+  net::PipeTransport transport(down[0], ::dup(down[0]) /* unused write side */);
+  ASSERT_EQ(::write(down[1], "READY\nHB 3\n", 11), 11);
+  ::close(down[1]);
+
+  std::string message;
+  ASSERT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "READY");
+  ASSERT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "HB 3");
+  EXPECT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::closed);
+  EXPECT_TRUE(transport.error().empty());
+}
+
+TEST(PipeTransport, DeathMidLineSurfacesTheTornTailAsAMessage) {
+  // A pipe peer that dies mid-line leaves an unterminated tail.  The
+  // transport surfaces those bytes as a final (truncated) message --
+  // the protocol parser then rejects it and the caller records a
+  // protocol death -- rather than silently swallowing them.
+  int down[2];
+  ASSERT_EQ(::pipe(down), 0);
+  net::PipeTransport transport(down[0], ::dup(down[0]));
+  ASSERT_EQ(::write(down[1], "DONE 0 0 4 0\nHB", 15), 15);
+  ::close(down[1]);  // peer died mid-line
+
+  std::string message;
+  ASSERT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "DONE 0 0 4 0");
+  ASSERT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::ok);
+  EXPECT_EQ(message, "HB");  // the torn tail, for the parser to reject
+  EXPECT_EQ(transport.recv(message, 1000ms), net::Transport::RecvStatus::closed);
+}
+
+TEST(Connector, RetryExhaustionThrowsNamingTheAddress) {
+  // A port nothing listens on: bind-then-close guarantees it was free
+  // a moment ago, so connect gets ECONNREFUSED, not a firewall hang.
+  std::uint16_t dead_port = 0;
+  {
+    net::Listener probe(net::parse_host_port("127.0.0.1:0"));
+    dead_port = probe.port();
+  }
+  try {
+    (void)net::connect_with_retry({"127.0.0.1", dead_port}, 3, 1ms);
+    FAIL() << "connected to a closed port";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("127.0.0.1"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("3 attempt"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Connector, ReachesAListenerThatComesUpLate) {
+  // The worker-before-coordinator race the retry loop exists for.
+  net::Listener listener(net::parse_host_port("127.0.0.1:0"));
+  const std::uint16_t port = listener.port();
+  std::thread dialer([port] {
+    const int fd = net::connect_with_retry({"127.0.0.1", port}, 40, 10ms);
+    EXPECT_GE(fd, 0);
+    ::close(fd);
+  });
+  int accepted = -1;
+  for (int i = 0; i < 500 && accepted < 0; ++i) {
+    accepted = listener.accept_nonblocking();
+    if (accepted < 0) std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GE(accepted, 0);
+  if (accepted >= 0) ::close(accepted);
+  dialer.join();
+}
+
+// The half-open-TCP regression: a Transport that stays open but never
+// delivers anything (packets dropped; no FIN, no RST).  Before the
+// idle-timeout path, the worker's recv loop would block forever on a
+// link like this; now it must give up after options.idle_timeout and
+// exit 1 so the host's slot can be re-fired.
+class BlackholeTransport final : public net::Transport {
+ public:
+  BlackholeTransport() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+    fd_ = fds[0];
+    hold_open_ = fds[1];  // never written, never closed while we live
+  }
+  ~BlackholeTransport() override {
+    ::close(fd_);
+    ::close(hold_open_);
+  }
+
+  bool send(std::string_view) override { return true; }  // writes vanish
+  int poll_fd() const override { return fd_; }           // never readable
+  bool drain(std::vector<std::string>&) override { return true; }
+  void shutdown() override {}
+  const std::string& error() const override { return error_; }
+  std::string describe() const override { return "blackhole"; }
+
+ private:
+  int fd_ = -1;
+  int hold_open_ = -1;
+  std::string error_;
+};
+
+TEST(WorkerIdleTimeout, SilentLinkMakesTheWorkerGiveUpAndExitOne) {
+  BlackholeTransport transport;
+  dist::WorkerOptions options;
+  options.spec_text = "workload exponential:1.0\ntasks 8\nh 0.5\nseed 1\nreplicas 1\nworkers 4\n";
+  options.workdir = "/tmp";
+  options.heartbeat_interval = 20ms;
+  options.idle_timeout = 150ms;
+
+  const auto start = std::chrono::steady_clock::now();
+  const int rc = dist::run_worker_on_transport(options, transport, /*handshake=*/false,
+                                               /*fetch_on_done=*/false);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(rc, 1);              // gave up; the slot is re-firable
+  EXPECT_GE(elapsed, 140ms);     // ...but only after the idle window
+  EXPECT_LT(elapsed, 5s);        // and well before "forever"
+}
+
+TEST(WorkerIdleTimeout, TrafficKeepsTheWorkerAlivePastTheWindow) {
+  // PINGs (or any message) reset the idle clock: a worker fed
+  // keepalives for 3x its idle window must still be waiting, and then
+  // exit 0 on QUIT -- proving the timeout measures silence, not age.
+  const auto [a, b] = socket_pair();
+  net::SocketTransport coordinator_side(a);
+  net::SocketTransport worker_side(b);
+
+  dist::WorkerOptions options;
+  options.spec_text = "workload exponential:1.0\ntasks 8\nh 0.5\nseed 1\nreplicas 1\nworkers 4\n";
+  options.workdir = "/tmp";
+  options.heartbeat_interval = 20ms;
+  options.idle_timeout = 200ms;
+
+  std::thread pinger([&coordinator_side] {
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(coordinator_side.send("PING"));
+      std::this_thread::sleep_for(50ms);
+    }
+    ASSERT_TRUE(coordinator_side.send("QUIT"));
+  });
+  const int rc = dist::run_worker_on_transport(options, worker_side, /*handshake=*/false,
+                                               /*fetch_on_done=*/false);
+  pinger.join();
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace

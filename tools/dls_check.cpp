@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "check/dist.hpp"
+#include "check/net.hpp"
 #include "check/runner.hpp"
 #include "dist/protocol.hpp"
 #include "support/flags.hpp"
@@ -126,7 +127,10 @@ int records_mode(int argc, char** argv) {
 }
 
 // `dls_check leases`: replay a coordinator lease-event log and check
-// no stripe was ever held by two live workers (check/dist.hpp).
+// no stripe was ever held by two live workers (check/dist.hpp), plus
+// the socket-transport invariants (check/net.hpp): leases only after
+// HELLO, remote commits only after a FETCH.  The net checks are
+// no-ops on pipe-mode logs, so one command audits both transports.
 int leases_mode(int argc, char** argv) {
   support::Flags flags;
   flags.define("help", "false", "print this help");
@@ -156,8 +160,16 @@ int leases_mode(int argc, char** argv) {
         std::cerr << "dls_check: " << path << ": lease_exclusivity: " << *violation << "\n";
         return EXIT_FAILURE;
       }
+      if (const auto violation = check::check_hello_before_lease(events)) {
+        std::cerr << "dls_check: " << path << ": hello_before_lease: " << *violation << "\n";
+        return EXIT_FAILURE;
+      }
+      if (const auto violation = check::check_fetch_before_done(events)) {
+        std::cerr << "dls_check: " << path << ": fetch_before_done: " << *violation << "\n";
+        return EXIT_FAILURE;
+      }
       std::cout << "dls_check: " << path << ": " << events.size()
-                << " event(s), lease_exclusivity holds\n";
+                << " event(s), lease_exclusivity + hello_before_lease + fetch_before_done hold\n";
     }
     return EXIT_SUCCESS;
   } catch (const std::exception& e) {

@@ -52,9 +52,12 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "dist/coordinator.hpp"
 #include "dist/protocol.hpp"
 #include "dist/worker.hpp"
+#include "net/socket.hpp"
 #include "support/bench_json.hpp"
 #include "support/flags.hpp"
 #include "sweep/record.hpp"
@@ -72,7 +75,9 @@ void print_usage(std::ostream& out, const support::Flags& flags) {
          "       dls_sweep merge --out <file> <shard>...    merge shard outputs\n"
          "       dls_sweep bench <spec-file> --name <BM_X> --group <axis> --json <file>\n"
          "       dls_sweep coordinate <spec-file> --out <file> --workdir <dir> [options]\n"
-         "       dls_sweep work <spec-file> --dir <dir>     one worker process\n"
+         "       dls_sweep serve <spec-file> --listen host:port --out <file> --workdir <dir>\n"
+         "       dls_sweep work <spec-file> --dir <dir>     one worker process (stdio)\n"
+         "       dls_sweep work --connect host:port --dir <dir>   one remote worker (TCP)\n"
          "\n"
          "Expands 'sweep <key> <v1> <v2> ...' lines of an experiment file into\n"
          "a cartesian grid of batched runs; one JSONL record per cell.\n"
@@ -441,14 +446,24 @@ int bench_mode(const support::Flags& flags) {
   return EXIT_SUCCESS;
 }
 
-// `dls_sweep coordinate`: the fault-tolerant multi-process front end
-// (dist/coordinator.hpp).  Own flag set -- its options are disjoint
-// from run mode's.
-int coordinate_mode(int argc, char** argv) {
+// `dls_sweep coordinate` / `dls_sweep serve`: the fault-tolerant
+// multi-worker front ends (dist/coordinator.hpp).  One flag set --
+// coordinate forks local pipe workers, serve listens for remote
+// socket workers (`dls_sweep work --connect`).
+int coordinate_mode(int argc, char** argv, bool serve) {
   support::Flags flags;
   flags.define("out", "", "merged output file (required; written atomically at the end)");
   flags.define("workdir", "", "stripe shard files + events log (required; created if missing)");
-  flags.define("workers", "2", "worker processes to spawn");
+  if (serve) {
+    flags.define("listen", "", "host:port to accept workers on (required; port 0 = kernel pick)");
+    flags.define("token", "", "HELLO auth token workers must present (empty = accept any)");
+    flags.define("accept-grace-ms", "30000",
+                 "fail when no live worker has been connected for this long");
+    flags.define("port-file", "", "write the bound port here once listening (for scripts)");
+  }
+  flags.define("workers", "2",
+               serve ? "expected worker count (sizes the default stripe count only)"
+                     : "worker processes to spawn");
   flags.define("stripes", "0", "lease granularity (0 = min(4*workers, cells))");
   flags.define("threads", "0", "SweepRunner width per worker (0 = spec / hardware)");
   flags.define("heartbeat-ms", "200", "worker heartbeat interval");
@@ -465,13 +480,15 @@ int coordinate_mode(int argc, char** argv) {
   flags.define("backend", "", "fixed execution backend forwarded to the workers");
   flags.define("quiet", "false", "suppress lease-event narration on stderr");
 
+  const std::string mode = serve ? "serve" : "coordinate";
   dist::CoordinatorOptions options;
   bool quiet = false;
+  std::string port_file;
   try {
     flags.parse(argc, argv);
-    // positional()[0] is the mode word "coordinate".
+    // positional()[0] is the mode word "coordinate"/"serve".
     if (flags.positional().size() != 2) {
-      throw std::invalid_argument("coordinate needs exactly one spec file");
+      throw std::invalid_argument(mode + " needs exactly one spec file");
     }
     options.spec_path = flags.positional()[1];
     options.out_path = flags.get("out");
@@ -479,7 +496,15 @@ int coordinate_mode(int argc, char** argv) {
     options.events_path = flags.get("events");
     options.backend = flags.get("backend");
     if (options.out_path.empty() || options.workdir.empty()) {
-      throw std::invalid_argument("coordinate needs --out and --workdir");
+      throw std::invalid_argument(mode + " needs --out and --workdir");
+    }
+    if (serve) {
+      options.listen = flags.get("listen");
+      if (options.listen.empty()) throw std::invalid_argument("serve needs --listen host:port");
+      (void)net::parse_host_port(options.listen);  // fail early on a bad address
+      options.token = flags.get("token");
+      options.accept_grace = std::chrono::milliseconds(flags.get_int("accept-grace-ms"));
+      port_file = flags.get("port-file");
     }
     options.workers = static_cast<std::size_t>(flags.get_int("workers"));
     if (options.workers == 0) throw std::invalid_argument("--workers must be >= 1");
@@ -493,6 +518,13 @@ int coordinate_mode(int argc, char** argv) {
     options.backoff_cap = std::chrono::milliseconds(flags.get_int("backoff-cap-ms"));
     const std::string chaos_list = flags.get("chaos");
     const auto chaos_kills = static_cast<std::size_t>(flags.get_int("chaos-kills"));
+    if (serve && (!chaos_list.empty() || chaos_kills > 0)) {
+      // Serve mode never spawns, so directives keyed by worker index
+      // would silently do nothing; chaos rides the workers' own
+      // --chaos-after / --chaos-mode flags instead.
+      throw std::invalid_argument("serve: chaos is worker-side; start a worker with "
+                                  "--chaos-after/--chaos-mode instead");
+    }
     if (!chaos_list.empty() && chaos_kills > 0) {
       throw std::invalid_argument("--chaos and --chaos-kills are mutually exclusive");
     }
@@ -528,12 +560,31 @@ int coordinate_mode(int argc, char** argv) {
     };
   }
 
+  if (serve) {
+    options.on_listening = [&quiet, port_file](std::uint16_t port) {
+      if (!quiet) std::cerr << "dls_sweep: serving on port " << port << "\n";
+      if (port_file.empty()) return;
+      // Port 0 runs resolve their real port only now; scripts (CI,
+      // the two-terminal example) read it from here.  Temp + rename so
+      // a reader never sees a half-written number.
+      const std::string tmp = port_file + ".tmp";
+      std::ofstream out(tmp, std::ios::trunc);
+      out << port << "\n";
+      out.flush();
+      if (!out || std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        std::cerr << "dls_sweep: cannot write port file " << port_file << "\n";
+      }
+    };
+  }
+
   try {
     dist::Coordinator coordinator(options);
     const dist::CoordinatorReport report = coordinator.run();
     if (!quiet) {
-      std::cerr << "dls_sweep: coordinated " << report.stripes << " stripe(s): " << report.computed
+      std::cerr << "dls_sweep: " << (serve ? "served " : "coordinated ") << report.stripes
+                << " stripe(s): " << report.computed
                 << " cell(s) computed, " << report.merged_records << " record(s) merged, "
+                << report.fetched << " stripe(s) fetched, "
                 << report.reclaims << " reclaim(s), " << report.retries << " retry(ies), "
                 << report.adopted << " adoption(s), " << report.workers_lost
                 << " worker(s) lost\n";
@@ -545,32 +596,53 @@ int coordinate_mode(int argc, char** argv) {
   return EXIT_SUCCESS;
 }
 
-// `dls_sweep work`: one worker process serving the lease protocol on
-// stdin/stdout (dist/worker.hpp).  Normally exec'd by `coordinate`;
-// runnable by hand for debugging.
+// `dls_sweep work`: one worker serving the lease protocol -- on
+// stdin/stdout (normally exec'd by `coordinate`) or over TCP against
+// a `serve` coordinator (`--connect host:port`; the spec ships over
+// the wire and --dir is the worker's own local scratch).
 int work_mode(int argc, char** argv) {
   support::Flags flags;
-  flags.define("dir", "", "shard-file directory shared with the coordinator (required)");
+  flags.define("dir", "", "shard-file directory (shared with a pipe coordinator; local "
+                          "scratch with --connect) (required)");
   flags.define("threads", "1", "SweepRunner width per lease (0 = spec / hardware)");
   flags.define("heartbeat-ms", "200", "heartbeat interval");
-  flags.define("backend", "", "fixed execution backend (appended to the spec)");
+  flags.define("backend", "", "fixed execution backend (appended to the spec; pipe mode only)");
   flags.define("chaos-after", "0", "fault injection: misbehave after N computed cells (0 = off)");
-  flags.define("chaos-mode", "kill", "fault mode: kill | truncate | hang");
+  flags.define("chaos-mode", "kill", "fault mode: kill | truncate | hang | fetchcut");
+  flags.define("connect", "", "host:port of a `dls_sweep serve` coordinator (empty = stdio)");
+  flags.define("token", "", "HELLO auth token (must match the coordinator's --token)");
+  flags.define("idle-ms", "10000", "exit when the coordinator sends nothing for this long");
+  flags.define("connect-attempts", "40", "connection attempts before giving up");
+  flags.define("connect-backoff-ms", "250", "delay between connection attempts");
 
   dist::WorkerOptions options;
   try {
     flags.parse(argc, argv);
-    if (flags.positional().size() != 2) {
-      throw std::invalid_argument("work needs exactly one spec file");
-    }
-    options.spec_text = read_input(flags.positional()[1]);
-    if (const std::string backend = flags.get("backend"); !backend.empty()) {
-      options.spec_text += "\nbackend " + backend + "\n";
+    options.connect = flags.get("connect");
+    if (options.connect.empty()) {
+      if (flags.positional().size() != 2) {
+        throw std::invalid_argument("work needs exactly one spec file");
+      }
+      options.spec_text = read_input(flags.positional()[1]);
+      if (const std::string backend = flags.get("backend"); !backend.empty()) {
+        options.spec_text += "\nbackend " + backend + "\n";
+      }
+    } else {
+      // The spec arrives over the wire (SPEC after HELLO): a spec file
+      // here would be ignored, so treat one as a usage error.
+      if (flags.positional().size() != 1) {
+        throw std::invalid_argument("work --connect takes no spec file (it ships over the wire)");
+      }
+      (void)net::parse_host_port(options.connect);  // fail early on a bad address
     }
     options.workdir = flags.get("dir");
     if (options.workdir.empty()) throw std::invalid_argument("work needs --dir");
     options.threads = static_cast<unsigned>(flags.get_int("threads"));
     options.heartbeat_interval = std::chrono::milliseconds(flags.get_int("heartbeat-ms"));
+    options.token = flags.get("token");
+    options.idle_timeout = std::chrono::milliseconds(flags.get_int("idle-ms"));
+    options.connect_attempts = static_cast<std::size_t>(flags.get_int("connect-attempts"));
+    options.connect_backoff = std::chrono::milliseconds(flags.get_int("connect-backoff-ms"));
     if (const auto after = static_cast<std::size_t>(flags.get_int("chaos-after")); after > 0) {
       options.chaos =
           dist::ChaosKill{0, after, dist::parse_chaos_mode(flags.get("chaos-mode"))};
@@ -579,15 +651,23 @@ int work_mode(int argc, char** argv) {
     std::cerr << "dls_sweep: " << e.what() << "\n";
     return kExitUsageError;
   }
+  // Connected workers create their own scratch dir -- nothing shares
+  // it, and asking every host operator to mkdir first is just friction.
+  if (!options.connect.empty()) (void)::mkdir(options.workdir.c_str(), 0755);
   return dist::run_worker(options);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // coordinate/work carry their own flag sets; dispatch before the
-  // run-mode flags can reject them.
-  if (argc > 1 && std::strcmp(argv[1], "coordinate") == 0) return coordinate_mode(argc, argv);
+  // coordinate/serve/work carry their own flag sets; dispatch before
+  // the run-mode flags can reject them.
+  if (argc > 1 && std::strcmp(argv[1], "coordinate") == 0) {
+    return coordinate_mode(argc, argv, /*serve=*/false);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return coordinate_mode(argc, argv, /*serve=*/true);
+  }
   if (argc > 1 && std::strcmp(argv[1], "work") == 0) return work_mode(argc, argv);
   support::Flags flags;
   flags.define("out", "", "output file (JSONL for run/merge; empty = stdout)");
