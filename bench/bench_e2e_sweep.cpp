@@ -13,8 +13,9 @@
 //   bench_e2e_sweep --benchmark_format=json > raw.json
 //   bench_to_json raw.json BENCH_e2e_sweep.json
 // or, in one command, without google-benchmark:
-//   dls_sweep bench bench/specs/e2e_sweep.sweep \
+//   dls_sweep bench bench/specs/e2e_sweep.sweep
 //       --name BM_E2ESweep --group tasks --json BENCH_e2e_sweep.json
+//   (one command; wrapped here for width)
 
 #include <benchmark/benchmark.h>
 
@@ -81,7 +82,7 @@ void run_sweep(benchmark::State& state, unsigned threads) {
     for (const exec::BatchResult& r : results) checksum += r.makespan.mean;
     benchmark::DoNotOptimize(checksum);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * runs_per_sweep));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(runs_per_sweep));
   state.counters["runs_per_sweep"] = static_cast<double>(runs_per_sweep);
   state.counters["tasks"] = static_cast<double>(tasks);
 }

@@ -709,6 +709,9 @@ class Run {
             ::waitpid(worker.pid, &status, 0);
             break;
           }
+          // Deadline-bounded poll of waitpid(WNOHANG): the loop's own
+          // grace_end caps the total wait, so this nap cannot hang.
+          // dls-lint: allow(unbounded-sleep)
           ::usleep(10 * 1000);
         }
       }

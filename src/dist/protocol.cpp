@@ -345,7 +345,9 @@ std::string encode_lease_event(const LeaseEvent& event) {
 namespace {
 
 [[nodiscard]] std::optional<std::size_t> event_uint(std::string_view line, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
   const auto pos = line.find(needle);
   if (pos == std::string_view::npos) return std::nullopt;
   std::size_t i = pos + needle.size();
@@ -359,7 +361,9 @@ namespace {
 
 [[nodiscard]] std::optional<std::string> event_string(std::string_view line,
                                                       std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":\"";
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":\"";
   const auto pos = line.find(needle);
   if (pos == std::string_view::npos) return std::nullopt;
   const std::size_t start = pos + needle.size();

@@ -4,15 +4,15 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
@@ -41,23 +41,27 @@ class Heartbeat {
 
   ~Heartbeat() {
     {
-      const std::scoped_lock lock(mutex_);
+      const support::LockGuard lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
     thread_.join();
   }
 
-  void silence() {
-    const std::scoped_lock lock(mutex_);
+  void silence() DLS_EXCLUDES(mutex_) {
+    const support::LockGuard lock(mutex_);
     silenced_ = true;
   }
 
  private:
-  void loop() {
-    std::unique_lock lock(mutex_);
+  void loop() DLS_EXCLUDES(mutex_) {
+    support::UniqueLock lock(mutex_);
     while (!stop_) {
-      cv_.wait_for(lock, interval_, [this] { return stop_; });
+      // One beat per interval: sleep on the condvar with a deadline so
+      // a stop request interrupts the wait instead of riding it out.
+      const auto beat_at = std::chrono::steady_clock::now() + interval_;
+      while (!stop_ && cv_.wait_until(mutex_, beat_at) != std::cv_status::timeout) {
+      }
       if (stop_) return;
       if (silenced_) continue;
       lock.unlock();
@@ -71,10 +75,10 @@ class Heartbeat {
   std::chrono::milliseconds interval_;
   const std::atomic<std::size_t>& computed_;
   std::thread thread_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool silenced_ = false;
+  support::Mutex mutex_;
+  support::CondVar cv_;
+  bool stop_ DLS_GUARDED_BY(mutex_) = false;
+  bool silenced_ DLS_GUARDED_BY(mutex_) = false;
 };
 
 [[nodiscard]] bool send_msg(Transport& transport, const WorkerMsg& msg) {

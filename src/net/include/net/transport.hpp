@@ -3,12 +3,12 @@
 #include <chrono>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "net/frame.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace net {
 
@@ -74,20 +74,27 @@ class PipeTransport final : public Transport {
   PipeTransport(int read_fd, int write_fd);
   ~PipeTransport() override;
 
-  [[nodiscard]] bool send(std::string_view message) override;
-  [[nodiscard]] int poll_fd() const override { return read_fd_; }
-  [[nodiscard]] bool drain(std::vector<std::string>& out) override;
-  void shutdown() override;
+  [[nodiscard]] bool send(std::string_view message) override DLS_EXCLUDES(mutex_);
+  [[nodiscard]] int poll_fd() const override DLS_EXCLUDES(mutex_) {
+    const support::LockGuard lock(mutex_);
+    return read_fd_;
+  }
+  [[nodiscard]] bool drain(std::vector<std::string>& out) override DLS_EXCLUDES(mutex_);
+  void shutdown() override DLS_EXCLUDES(mutex_);
   [[nodiscard]] const std::string& error() const override { return error_; }
   [[nodiscard]] std::string describe() const override;
 
  private:
-  std::mutex send_mutex_;
-  int read_fd_;
-  int write_fd_;
-  LineDecoder decoder_;
-  std::string error_;
-  bool finished_ = false;
+  /// Guards the fds (send() vs shutdown() cross-thread) and
+  /// serializes whole sends so concurrent messages never interleave
+  /// mid-line.  The decoder state below is NOT under it: drain() and
+  /// error() belong to the single read-side thread by contract.
+  mutable support::Mutex mutex_;
+  int read_fd_ DLS_GUARDED_BY(mutex_);
+  int write_fd_ DLS_GUARDED_BY(mutex_);
+  LineDecoder decoder_;  ///< read-side thread only
+  std::string error_;    ///< read-side thread only
+  bool finished_ = false;  ///< read-side thread only
 };
 
 /// One connected TCP socket carrying length-delimited frames.  Owns
@@ -98,20 +105,25 @@ class SocketTransport final : public Transport {
                            std::chrono::milliseconds write_deadline = std::chrono::seconds(10));
   ~SocketTransport() override;
 
-  [[nodiscard]] bool send(std::string_view message) override;
-  [[nodiscard]] int poll_fd() const override { return fd_; }
-  [[nodiscard]] bool drain(std::vector<std::string>& out) override;
-  void shutdown() override;
+  [[nodiscard]] bool send(std::string_view message) override DLS_EXCLUDES(mutex_);
+  [[nodiscard]] int poll_fd() const override DLS_EXCLUDES(mutex_) {
+    const support::LockGuard lock(mutex_);
+    return fd_;
+  }
+  [[nodiscard]] bool drain(std::vector<std::string>& out) override DLS_EXCLUDES(mutex_);
+  void shutdown() override DLS_EXCLUDES(mutex_);
   [[nodiscard]] const std::string& error() const override { return error_; }
-  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string describe() const override DLS_EXCLUDES(mutex_);
 
  private:
-  std::mutex send_mutex_;
-  int fd_;
+  /// Same split as PipeTransport: mutex_ guards the fd and serializes
+  /// whole frames; decoder state is read-side-thread-only.
+  mutable support::Mutex mutex_;
+  int fd_ DLS_GUARDED_BY(mutex_);
   std::chrono::milliseconds write_deadline_;
-  FrameDecoder decoder_;
-  std::string error_;
-  bool finished_ = false;
+  FrameDecoder decoder_;   ///< read-side thread only
+  std::string error_;      ///< read-side thread only
+  bool finished_ = false;  ///< read-side thread only
 };
 
 }  // namespace net

@@ -130,6 +130,10 @@ int connect_with_retry(const HostPort& address, std::size_t attempts,
   const sockaddr_in addr = resolve(address);
   std::string last_error;
   for (std::size_t attempt = 0; attempt < std::max<std::size_t>(attempts, 1); ++attempt) {
+    // Bounded by the caller's attempt budget; connect retry backoff is
+    // the one place a flat nap is the right tool (nothing to wait on --
+    // the peer simply isn't listening yet).
+    // dls-lint: allow(unbounded-sleep)
     if (attempt != 0 && backoff.count() > 0) std::this_thread::sleep_for(backoff);
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw std::runtime_error(errno_message("socket"));

@@ -84,7 +84,7 @@ PipeTransport::PipeTransport(int read_fd, int write_fd) : read_fd_(read_fd), wri
 PipeTransport::~PipeTransport() { shutdown(); }
 
 bool PipeTransport::send(std::string_view message) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  const support::LockGuard lock(mutex_);
   if (write_fd_ < 0) return false;
   std::string wire(message);
   wire += '\n';
@@ -93,9 +93,18 @@ bool PipeTransport::send(std::string_view message) {
 
 bool PipeTransport::drain(std::vector<std::string>& out) {
   if (finished_) return false;
+  int fd = -1;
+  {
+    // Snapshot the fd; the read loop itself must not hold the lock (a
+    // send() blocked on a full kernel buffer would stall the caller's
+    // whole poll loop).  A shutdown() racing the loop turns the read
+    // into EBADF, which lands in the EOF/error branch below.
+    const support::LockGuard lock(mutex_);
+    fd = read_fd_;
+  }
   char buffer[4096];
   for (;;) {
-    const ssize_t n = ::read(read_fd_, buffer, sizeof(buffer));
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
     if (n > 0) {
       decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)), out);
       continue;
@@ -112,7 +121,7 @@ bool PipeTransport::drain(std::vector<std::string>& out) {
 }
 
 void PipeTransport::shutdown() {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  const support::LockGuard lock(mutex_);
   if (read_fd_ >= 0) ::close(read_fd_);
   if (write_fd_ >= 0) ::close(write_fd_);
   read_fd_ = -1;
@@ -127,16 +136,22 @@ SocketTransport::SocketTransport(int fd, std::chrono::milliseconds write_deadlin
 SocketTransport::~SocketTransport() { shutdown(); }
 
 bool SocketTransport::send(std::string_view message) {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  const support::LockGuard lock(mutex_);
   if (fd_ < 0) return false;
   return write_all(fd_, encode_frame(message), write_deadline_, /*socket=*/true);
 }
 
 bool SocketTransport::drain(std::vector<std::string>& out) {
   if (finished_) return false;
+  int fd = -1;
+  {
+    // Same fd-snapshot discipline as PipeTransport::drain.
+    const support::LockGuard lock(mutex_);
+    fd = fd_;
+  }
   char buffer[16384];
   for (;;) {
-    const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
     if (n > 0) {
       if (!decoder_.feed(std::string_view(buffer, static_cast<std::size_t>(n)), out)) {
         finished_ = true;
@@ -159,11 +174,14 @@ bool SocketTransport::drain(std::vector<std::string>& out) {
 }
 
 void SocketTransport::shutdown() {
-  std::lock_guard<std::mutex> lock(send_mutex_);
+  const support::LockGuard lock(mutex_);
   if (fd_ >= 0) ::close(fd_);
   fd_ = -1;
 }
 
-std::string SocketTransport::describe() const { return "tcp:fd=" + std::to_string(fd_); }
+std::string SocketTransport::describe() const {
+  const support::LockGuard lock(mutex_);
+  return "tcp:fd=" + std::to_string(fd_);
+}
 
 }  // namespace net

@@ -36,7 +36,7 @@ Executor::Executor(unsigned threads)
 
 Executor::~Executor() {
   {
-    const std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -46,7 +46,7 @@ Executor::~Executor() {
 unsigned Executor::width() const { return width_.load(std::memory_order_relaxed); }
 
 unsigned Executor::slot_count() const {
-  const std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   return static_cast<unsigned>(workers_.size()) + 1;
 }
 
@@ -58,12 +58,25 @@ void Executor::spawn_workers_locked(unsigned target_workers) {
 }
 
 void Executor::reserve(unsigned threads) {
-  const std::scoped_lock lock(mutex_);
+  const support::LockGuard lock(mutex_);
   if (threads > width_.load(std::memory_order_relaxed)) {
     width_.store(threads, std::memory_order_relaxed);
   }
   if (threads > 1) spawn_workers_locked(threads - 1);
 }
+
+bool Executor::try_join_region(Region& region, unsigned slot) {
+  if (region.joined >= region.max_workers) return false;  // region has enough hands
+  // A capped region never hands out a slot the caller did not size
+  // per-slot state for (the pool may have grown since the caller
+  // sampled slot_count()).
+  if (region.slot_limit != 0 && slot >= region.slot_limit) return false;
+  ++region.joined;
+  ++region.active;
+  return true;
+}
+
+bool Executor::leave_region(Region& region) { return --region.active == 0; }
 
 void Executor::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                             unsigned threads, std::size_t grain) {
@@ -111,7 +124,7 @@ void Executor::run_region(std::size_t count, std::size_t grain, unsigned threads
 
   // Whole regions are serialized across calling threads; the common
   // single-caller case never contends here.
-  const std::scoped_lock region_lock(region_mutex_);
+  const support::LockGuard region_lock(region_mutex_);
   const RegionOwnerScope scope(this);
 
   Region region;
@@ -122,7 +135,7 @@ void Executor::run_region(std::size_t count, std::size_t grain, unsigned threads
   region.max_workers = participants - 1;
   region.slot_limit = slot_limit;
   {
-    const std::scoped_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     if (threads > width_.load(std::memory_order_relaxed)) {
       width_.store(threads, std::memory_order_relaxed);
     }
@@ -135,11 +148,19 @@ void Executor::run_region(std::size_t count, std::size_t grain, unsigned threads
   work(region, /*slot=*/0);
 
   {
-    std::unique_lock lock(mutex_);
+    const support::LockGuard lock(mutex_);
     region_ = nullptr;  // no further joins; parked workers stay parked
-    done_cv_.wait(lock, [&] { return region.active == 0; });
+    while (region.active != 0) done_cv_.wait(mutex_);
   }
-  if (region.error) std::rethrow_exception(region.error);
+  std::exception_ptr error;
+  {
+    // The drain above already ordered every worker's error write
+    // before this read; the lock is for the analysis' benefit and is
+    // uncontended by construction.
+    const support::LockGuard lock(region.error_mutex);
+    error = region.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void Executor::work(Region& region, unsigned slot) {
@@ -154,7 +175,7 @@ void Executor::work(Region& region, unsigned slot) {
       try {
         region.invoke(region.body, i, slot);
       } catch (...) {
-        const std::scoped_lock lock(region.error_mutex);
+        const support::LockGuard lock(region.error_mutex);
         if (!region.error) region.error = std::current_exception();
         region.failed.store(true, std::memory_order_relaxed);
         return;
@@ -166,27 +187,21 @@ void Executor::work(Region& region, unsigned slot) {
 void Executor::worker_main(unsigned slot) {
   const RegionOwnerScope scope(this);  // nested use from a worker runs inline
   std::uint64_t seen_generation = 0;
-  std::unique_lock lock(mutex_);
+  support::UniqueLock lock(mutex_);
   for (;;) {
-    wake_cv_.wait(lock, [&] {
-      return stop_ || (region_ != nullptr && generation_ != seen_generation);
-    });
+    while (!stop_ && (region_ == nullptr || generation_ == seen_generation)) {
+      wake_cv_.wait(mutex_);
+    }
     if (stop_) return;
     seen_generation = generation_;
     Region* region = region_;
-    if (region->joined >= region->max_workers) continue;  // region has enough hands
-    // A capped region never hands out a slot the caller did not size
-    // per-slot state for (the pool may have grown since the caller
-    // sampled slot_count()).
-    if (region->slot_limit != 0 && slot >= region->slot_limit) continue;
-    ++region->joined;
-    ++region->active;
+    if (!try_join_region(*region, slot)) continue;
     lock.unlock();
     work(*region, slot);
     lock.lock();
     // The region object lives on the caller's stack; the caller cannot
     // leave run_region until active drains to 0 under this mutex.
-    if (--region->active == 0) done_cv_.notify_all();
+    if (leave_region(*region)) done_cv_.notify_all();
   }
 }
 

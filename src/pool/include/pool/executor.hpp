@@ -1,14 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace pool {
 
@@ -104,6 +104,13 @@ class Executor {
 
  private:
   struct Region {
+    // The configuration block (count..slot_limit) is written by the
+    // caller BEFORE the region is published as region_ under
+    // Executor::mutex_ and never mutated afterwards; workers only
+    // reach it through the mutex acquire that showed them the pointer,
+    // so the unguarded reads in work() are ordered.  The analysis (and
+    // TSan) cannot express "immutable after publication", which is why
+    // these fields carry no DLS_GUARDED_BY.
     std::size_t count = 0;
     std::size_t grain = 1;
     void (*invoke)(const void* body, std::size_t index, unsigned slot) = nullptr;
@@ -113,28 +120,37 @@ class Executor {
 
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    unsigned joined = 0;  ///< guarded by Executor::mutex_
-    unsigned active = 0;  ///< guarded by Executor::mutex_
+    support::Mutex error_mutex;
+    std::exception_ptr error DLS_GUARDED_BY(error_mutex);
+    // joined/active are guarded by Executor::mutex_ -- a nested struct
+    // cannot name the owning instance's capability, so all access goes
+    // through the DLS_REQUIRES(mutex_) helpers below.
+    unsigned joined = 0;
+    unsigned active = 0;
   };
 
   void run_region(std::size_t count, std::size_t grain, unsigned threads,
                   unsigned slot_limit, void (*invoke)(const void*, std::size_t, unsigned),
-                  const void* body);
-  void work(Region& region, unsigned slot);
-  void worker_main(unsigned slot);
-  void spawn_workers_locked(unsigned target_workers);
+                  const void* body) DLS_EXCLUDES(region_mutex_, mutex_);
+  void work(Region& region, unsigned slot) DLS_EXCLUDES(mutex_);
+  void worker_main(unsigned slot) DLS_EXCLUDES(mutex_);
+  void spawn_workers_locked(unsigned target_workers) DLS_REQUIRES(mutex_);
+  /// Join `region` if it still wants hands and `slot` is inside its
+  /// slot cap; counts the worker in joined/active on success.
+  [[nodiscard]] bool try_join_region(Region& region, unsigned slot) DLS_REQUIRES(mutex_);
+  /// Count a participant out; true when the region just drained.
+  [[nodiscard]] bool leave_region(Region& region) DLS_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable wake_cv_;   ///< parks idle workers
-  std::condition_variable done_cv_;   ///< caller waits for region drain
-  std::vector<std::jthread> workers_;
-  Region* region_ = nullptr;          ///< guarded by mutex_
-  std::uint64_t generation_ = 0;      ///< guarded by mutex_
-  bool stop_ = false;                 ///< guarded by mutex_
+  mutable support::Mutex mutex_;
+  support::CondVar wake_cv_;          ///< parks idle workers
+  support::CondVar done_cv_;          ///< caller waits for region drain
+  std::vector<std::jthread> workers_ DLS_GUARDED_BY(mutex_);
+  Region* region_ DLS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ DLS_GUARDED_BY(mutex_) = 0;
+  bool stop_ DLS_GUARDED_BY(mutex_) = false;
   std::atomic<unsigned> width_{1};    ///< atomic: read outside mutex_
-  std::mutex region_mutex_;           ///< serializes whole regions
+  /// Serializes whole regions; always taken before mutex_.
+  support::Mutex region_mutex_ DLS_ACQUIRED_BEFORE(mutex_);
 };
 
 }  // namespace pool

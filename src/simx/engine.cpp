@@ -186,7 +186,7 @@ std::vector<ActorAccounting> Engine::accounting() const {
   std::vector<ActorAccounting> out;
   out.reserve(actors_.size());
   for (const auto& control : actors_) {
-    ActorAccounting acc;
+    ActorAccounting& acc = out.emplace_back();
     acc.name = control->name;
     acc.host = control->host->name();
     acc.finished = control->finished;
@@ -200,7 +200,6 @@ std::vector<ActorAccounting> Engine::accounting() const {
     acc.communicating = time_in(ActorState::kCommunicating);
     acc.sleeping = time_in(ActorState::kSleeping);
     acc.waiting = time_in(ActorState::kWaitingRecv);
-    out.push_back(std::move(acc));
   }
   return out;
 }

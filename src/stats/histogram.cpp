@@ -66,7 +66,12 @@ std::string Histogram::to_ascii(std::size_t bar_width) const {
   };
   if (underflow_ > 0) line("           < " + support::fmt(lo_, 1), underflow_);
   for (std::size_t b = 0; b < counts_.size(); ++b) {
-    line("[" + support::fmt(bin_lo(b), 1) + ", " + support::fmt(bin_hi(b), 1) + ")", counts_[b]);
+    std::string label = "[";
+    label += support::fmt(bin_lo(b), 1);
+    label += ", ";
+    label += support::fmt(bin_hi(b), 1);
+    label += ")";
+    line(label, counts_[b]);
   }
   if (overflow_ > 0) line("          >= " + support::fmt(hi_, 1), overflow_);
   if (nan_ > 0) line("          NaN", nan_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace stats {
@@ -90,8 +91,9 @@ TrimmedMean mean_below(std::span<const double> values, double cutoff) {
 Discrepancy discrepancy(double original, double simulated) {
   Discrepancy d;
   d.absolute = simulated - original;
-  d.relative_percent = original != 0.0 ? 100.0 * d.absolute / original
-                                       : (d.absolute == 0.0 ? 0.0 : INFINITY);
+  d.relative_percent =
+      original != 0.0 ? 100.0 * d.absolute / original
+                      : (d.absolute == 0.0 ? 0.0 : std::numeric_limits<double>::infinity());
   return d;
 }
 

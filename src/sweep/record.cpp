@@ -64,7 +64,9 @@ std::string summary_json(const stats::Summary& s) {
 
 /// Extract the unsigned integer value of `"key":<digits>` in `line`.
 std::optional<std::size_t> uint_field(std::string_view line, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":";
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
   const auto pos = line.find(needle);
   if (pos == std::string_view::npos) return std::nullopt;
   std::size_t i = pos + needle.size();
@@ -79,7 +81,9 @@ std::optional<std::size_t> uint_field(std::string_view line, std::string_view ke
 /// Extract the string value of `"key":"<text>"` in `line`.  Backend
 /// names are plain identifiers, so no unescaping is needed.
 std::optional<std::string> string_field(std::string_view line, std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":\"";
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":\"";
   const auto pos = line.find(needle);
   if (pos == std::string_view::npos) return std::nullopt;
   const std::size_t start = pos + needle.size();

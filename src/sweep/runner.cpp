@@ -2,16 +2,87 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
 #include "sweep/stripe.hpp"
 
 namespace sweep {
+namespace {
+
+/// Pass 2's ordered write stage.  Completions land via commit() in any
+/// thread order; every record is written and flushed in canonical slot
+/// order the moment its turn arrives, so the output byte stream is
+/// identical to a single-threaded run.  Rendering stays in the caller
+/// (it touches only j-local data and is the expensive part) -- only the
+/// frontier bookkeeping and the ordered write serialize here.  The
+/// observer fires under the lock too: committed-cell events must leave
+/// in frontier order.
+class InOrderCommitter {
+ public:
+  /// `cells`/`jobs`/`backends` are indexed by window slot and must
+  /// outlive the committer; `backends` carries the grid-owned views the
+  /// progress events expose.
+  InOrderCommitter(std::ostream& out, std::span<const Cell> cells,
+                   std::span<const exec::BatchJob> jobs,
+                   std::span<const std::string_view> backends,
+                   const SweepRunner::Observer& observer, std::size_t total)
+      : out_(&out),
+        cells_(cells),
+        jobs_(jobs),
+        backends_(backends),
+        observer_(observer),
+        total_(total),
+        rendered_(cells.size()),
+        ready_(cells.size(), false) {}
+
+  /// Install the ALREADY-RENDERED record for window slot `j`, then
+  /// write every consecutive ready record at the frontier.
+  void commit(std::size_t j, std::string line) DLS_EXCLUDES(mutex_) {
+    const support::LockGuard lock(mutex_);
+    rendered_[j] = std::move(line);
+    ready_[j] = true;
+    while (frontier_ < ready_.size() && ready_[frontier_]) {
+      *out_ << rendered_[frontier_] << '\n' << std::flush;
+      if (!*out_) {
+        // A full disk or write error must not let the sweep report
+        // success over a truncated output.
+        std::string what = "sweep: writing the record for cell ";
+        what += std::to_string(cells_[frontier_].science_index);
+        what += " (backend ";
+        what += jobs_[frontier_].backend;
+        what += ") failed (disk full?)";
+        throw std::runtime_error(what);
+      }
+      rendered_[frontier_].clear();
+      rendered_[frontier_].shrink_to_fit();
+      if (observer_) {
+        observer_(SweepRunner::CellEvent{cells_[frontier_].science_index, backends_[frontier_],
+                                         total_, /*skipped=*/false});
+      }
+      ++frontier_;
+    }
+  }
+
+ private:
+  std::ostream* const out_ DLS_PT_GUARDED_BY(mutex_);
+  const std::span<const Cell> cells_;
+  const std::span<const exec::BatchJob> jobs_;
+  const std::span<const std::string_view> backends_;
+  const SweepRunner::Observer& observer_;
+  const std::size_t total_;
+  support::Mutex mutex_;
+  std::vector<std::string> rendered_ DLS_GUARDED_BY(mutex_);
+  std::vector<bool> ready_ DLS_GUARDED_BY(mutex_);
+  std::size_t frontier_ DLS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
 
 SweepRunner::SweepRunner(Options options) : options_(options) {
   if (options_.shard_count == 0) {
@@ -112,13 +183,16 @@ std::size_t SweepRunner::run(const Grid& grid, const std::set<RecordKey>& done,
     // Expand this window's cells and jobs (lazily -- see above).
     std::vector<Cell> cells;
     std::vector<exec::BatchJob> jobs;
+    std::vector<std::string_view> backends_by_slot;  // grid-owned views
     cells.reserve(count);
     jobs.reserve(count);
+    backends_by_slot.reserve(count);
     unsigned spec_threads = 0;
     bool any_default_threads = false;
     for (std::size_t w = window_begin; w < window_end; ++w) {
       cells.push_back(cell(grid, work[w]));
       jobs.push_back(batch_job(grid, cells.back()));
+      backends_by_slot.push_back(cell_backend(grid, work[w]));
       if (cells.back().spec.threads == 0) any_default_threads = true;
       spec_threads = std::max(spec_threads, cells.back().spec.threads);
     }
@@ -128,37 +202,9 @@ std::size_t SweepRunner::run(const Grid& grid, const std::set<RecordKey>& done,
     const unsigned threads =
         options_.threads != 0 ? options_.threads : (any_default_threads ? 0 : spec_threads);
 
-    std::mutex commit_mutex;
-    std::vector<std::string> rendered(count);
-    std::vector<bool> ready(count, false);
-    std::size_t frontier = 0;
+    InOrderCommitter committer(out, cells, jobs, backends_by_slot, observer, total);
     const auto commit = [&](std::size_t j, const exec::BatchResult& result) {
-      // Render outside the lock: it touches only j-local data and the
-      // const renderer, and it's the expensive part -- only the
-      // frontier bookkeeping and the ordered write need serializing.
-      std::string line = renderer.render(cells[j], jobs[j], result);
-      const std::scoped_lock lock(commit_mutex);
-      rendered[j] = std::move(line);
-      ready[j] = true;
-      while (frontier < count && ready[frontier]) {
-        out << rendered[frontier] << '\n' << std::flush;
-        if (!out) {
-          // A full disk or write error must not let the sweep report
-          // success over a truncated output.
-          throw std::runtime_error(
-              "sweep: writing the record for cell " +
-              std::to_string(cells[frontier].science_index) + " (backend " +
-              jobs[frontier].backend + ") failed (disk full?)");
-        }
-        rendered[frontier].clear();
-        rendered[frontier].shrink_to_fit();
-        if (observer) {
-          observer(CellEvent{cells[frontier].science_index,
-                             cell_backend(grid, work[window_begin + frontier]), total,
-                             /*skipped=*/false});
-        }
-        ++frontier;
-      }
+      committer.commit(j, renderer.render(cells[j], jobs[j], result));
     };
 
     (void)batch_runner(threads).run(std::span<const exec::BatchJob>(jobs), commit);

@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(NonAdaptiveKinds, IdenticalSequences,
                          ::testing::Values(Kind::kStatic, Kind::kSS, Kind::kCSS, Kind::kFSC,
                                            Kind::kGSS, Kind::kTSS, Kind::kFAC, Kind::kFAC2,
                                            Kind::kTAP, Kind::kMFSC, Kind::kTFSS, Kind::kRND),
-                         [](const ::testing::TestParamInfo<Kind>& info) {
-                           std::string name = dls::to_string(info.param);
+                         [](const ::testing::TestParamInfo<Kind>& param_info) {
+                           std::string name = dls::to_string(param_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

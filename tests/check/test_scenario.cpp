@@ -110,7 +110,9 @@ TEST(Scenario, ExperimentTextRoundTrips) {
 TEST(Scenario, ClassificationIsConsistent) {
   for (std::size_t i = 0; i < 100; ++i) {
     Scenario s = check::generate_scenario(19, i);
-    if (s.hagerup_identical()) EXPECT_TRUE(s.hagerup_comparable());
+    if (s.hagerup_identical()) {
+      EXPECT_TRUE(s.hagerup_comparable());
+    }
     if (s.hagerup_comparable()) {
       EXPECT_TRUE(s.null_network);
       EXPECT_FALSE(s.heterogeneous);

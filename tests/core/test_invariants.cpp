@@ -130,8 +130,8 @@ TEST_P(DecreasingFamily, ChunksNeverGrow) {
 std::vector<GridCase> decreasing_grid() {
   std::vector<GridCase> cases;
   for (Kind k : {Kind::kGSS, Kind::kTSS, Kind::kFAC, Kind::kFAC2, Kind::kTAP, Kind::kBOLD}) {
-    for (std::size_t p : {2, 8, 64}) {
-      for (std::size_t n : {100, 4096, 100000}) {
+    for (std::size_t p : {2u, 8u, 64u}) {
+      for (std::size_t n : {100u, 4096u, 100000u}) {
         cases.push_back({k, p, n});
       }
     }

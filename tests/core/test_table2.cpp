@@ -54,8 +54,8 @@ INSTANTIATE_TEST_SUITE_P(
                       Table2Row{Kind::kFAC, kP | kR | kMu | kSigma},
                       Table2Row{Kind::kFAC2, kP | kR},
                       Table2Row{Kind::kBOLD, kP | kR | kH | kMu | kSigma | kM}),
-    [](const ::testing::TestParamInfo<Table2Row>& info) {
-      std::string name = dls::to_string(info.param.kind);
+    [](const ::testing::TestParamInfo<Table2Row>& param_info) {
+      std::string name = dls::to_string(param_info.param.kind);
       for (char& c : name) {
         if (c == '-') c = '_';
       }

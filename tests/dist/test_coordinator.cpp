@@ -104,8 +104,8 @@ TEST(CoordinateTool, LosingTwoOfFourWorkersStillMatchesSerial) {
   std::size_t reclaims = 0;
   std::size_t dead = 0;
   for (const dist::LeaseEvent& event : events) {
-    reclaims += event.kind == "reclaim" ? 1 : 0;
-    dead += event.kind == "dead" ? 1 : 0;
+    if (event.kind == "reclaim") ++reclaims;
+    if (event.kind == "dead") ++dead;
   }
   EXPECT_GE(dead, 2u);     // both chaos victims died
   EXPECT_GE(reclaims, 2u);  // and their leases were taken back

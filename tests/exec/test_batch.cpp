@@ -157,7 +157,9 @@ TEST(BatchSeeding, DerivedSeedsAreCollisionFreeAcrossAGrid) {
   std::uint64_t prev = 0;
   bool first = true;
   for (const std::uint64_t s : seeds) {
-    if (!first) EXPECT_GT(s - prev, kReplicaWindow);
+    if (!first) {
+      EXPECT_GT(s - prev, kReplicaWindow);
+    }
     prev = s;
     first = false;
   }

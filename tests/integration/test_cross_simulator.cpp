@@ -68,8 +68,8 @@ TEST_P(CrossSimulator, MasterWorkerReproducesDirectSimulator) {
 
 INSTANTIATE_TEST_SUITE_P(BoldPublicationTechniques, CrossSimulator,
                          ::testing::ValuesIn(dls::bold_publication_kinds()),
-                         [](const ::testing::TestParamInfo<Kind>& info) {
-                           return dls::to_string(info.param);
+                         [](const ::testing::TestParamInfo<Kind>& param_info) {
+                           return dls::to_string(param_info.param);
                          });
 
 TEST(CrossSimulator, TechniqueOrderingIsConsistentAcrossSimulators) {
@@ -175,10 +175,10 @@ std::vector<SameSeedCase> same_seed_grid() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, SameSeedEquivalence, ::testing::ValuesIn(same_seed_grid()),
-                         [](const ::testing::TestParamInfo<SameSeedCase>& info) {
-                           return dls::to_string(info.param.kind) + "_p" +
-                                  std::to_string(info.param.pes) + "_n" +
-                                  std::to_string(info.param.tasks);
+                         [](const ::testing::TestParamInfo<SameSeedCase>& param_info) {
+                           return dls::to_string(param_info.param.kind) + "_p" +
+                                  std::to_string(param_info.param.pes) + "_n" +
+                                  std::to_string(param_info.param.tasks);
                          });
 
 TEST(CrossSimulator, WastedTimeDecreasesRelativeGapWithMoreTasks) {

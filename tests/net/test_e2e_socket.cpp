@@ -115,7 +115,7 @@ TEST(E2eSocket, CleanFourWorkerSocketSweepMatchesSerialAndPipe) {
   // carries detail "fetched" in the socket log, none in the pipe log.
   std::size_t fetched = 0;
   for (const auto& event : read_events(dir.path() + "/wd_sock/events.jsonl")) {
-    fetched += event.kind == "done" && event.detail == "fetched" ? 1 : 0;
+    if (event.kind == "done" && event.detail == "fetched") ++fetched;
   }
   EXPECT_GE(fetched, 1u);
 }
@@ -133,8 +133,8 @@ TEST(E2eSocket, TwoKilledWorkersOfFourStillMatchSerialByteForByte) {
   std::size_t dead = 0;
   std::size_t reclaims = 0;
   for (const auto& event : events) {
-    dead += event.kind == "dead" ? 1 : 0;
-    reclaims += event.kind == "reclaim" ? 1 : 0;
+    if (event.kind == "dead") ++dead;
+    if (event.kind == "reclaim") ++reclaims;
   }
   EXPECT_GE(dead, 2u);      // both chaos victims died
   EXPECT_GE(reclaims, 1u);  // at least one held lease was taken back

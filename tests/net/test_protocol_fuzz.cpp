@@ -167,7 +167,9 @@ void run_scenario(std::uint64_t seed) {
     open = frames.feed(std::string_view(wire).substr(i, take), decoded);
     i += take;
   }
-  if (!open) EXPECT_FALSE(frames.error().empty());
+  if (!open) {
+    EXPECT_FALSE(frames.error().empty());
+  }
   for (const std::string& line : decoded) parse_both_ways(line);
 
   net::LineDecoder lines;

@@ -35,8 +35,8 @@ TEST_P(EveryTechnique, CoversEveryIndexExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, EveryTechnique, ::testing::ValuesIn(dls::all_kinds()),
-                         [](const ::testing::TestParamInfo<dls::Kind>& info) {
-                           std::string name = dls::to_string(info.param);
+                         [](const ::testing::TestParamInfo<dls::Kind>& param_info) {
+                           std::string name = dls::to_string(param_info.param);
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -96,7 +96,9 @@ TEST(Engine, ActorsInterleaveInTimeOrder) {
   std::vector<int> order;
   TraceState a{3.0, 1, &order}, b{1.0, 2, &order}, c{2.0, 3, &order};
   for (TraceState* st : {&a, &b, &c}) {
-    engine.spawn("t" + std::to_string(st->id), engine.platform().host("h"),
+    std::string name = "t";
+    name += std::to_string(st->id);
+    engine.spawn(name, engine.platform().host("h"),
                  [st](Context& ctx) { return tracer(ctx, *st); });
   }
   engine.run();
@@ -108,7 +110,9 @@ TEST(Engine, SimultaneousEventsFireInSpawnOrder) {
   std::vector<int> order;
   TraceState a{1.0, 1, &order}, b{1.0, 2, &order}, c{1.0, 3, &order};
   for (TraceState* st : {&a, &b, &c}) {
-    engine.spawn("t" + std::to_string(st->id), engine.platform().host("h"),
+    std::string name = "t";
+    name += std::to_string(st->id);
+    engine.spawn(name, engine.platform().host("h"),
                  [st](Context& ctx) { return tracer(ctx, *st); });
   }
   engine.run();
