@@ -1,0 +1,202 @@
+// Event-core microbenchmarks: the simx primitives every simulated run
+// is made of, measured in isolation so a regression in the engine shows
+// up here before it blurs into the end-to-end sweep numbers.
+//
+//   BM_EventQueuePushPop/N  steady-state push+pop against N pending
+//                           events (the calendar queue's claim is that
+//                           this stays flat in N; the binary-heap
+//                           reference below it grows as log N)
+//   BM_BinaryHeapPushPop/N  the std::priority_queue baseline the
+//                           calendar replaced, same workload
+//   BM_EngineSpawnReset     spawn P actors / run / reset() cycling --
+//                           the per-replica engine-reuse path
+//   BM_RouteLookup          Platform::comm_time on a star route (the
+//                           per-message network cost model)
+//   BM_IndexedName          the interned "<prefix><index>" lookup
+//   BM_ReplicaE2E/P         one full master-worker replica at P
+//                           workers, RunContext reused across
+//                           iterations (the BatchRunner inner loop)
+//
+// Record a baseline:
+//   bench_simx_core --benchmark_format=json > raw.json
+//   bench_to_json raw.json BENCH_simx_core.json
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "mw/config.hpp"
+#include "mw/simulation.hpp"
+#include "simx/engine.hpp"
+#include "simx/event_queue.hpp"
+#include "simx/platform.hpp"
+#include "workload/task_times.hpp"
+
+namespace {
+
+/// Deterministic 64-bit mix (splitmix64) for synthetic event times; the
+/// benchmark must not depend on a seeded std:: engine's quality, only
+/// on reproducible spread.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// A hold-N workload: keep N events pending, each op pops the minimum
+/// and pushes a replacement a pseudo-random (but deterministic) delay
+/// past the popped time -- the classic calendar-queue "hold" model,
+/// which matches the engine's monotone push pattern.
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  simx::CalendarQueue queue;
+  std::uint64_t rng = 0x0123456789abcdefull;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    const double t = static_cast<double>(mix(rng) >> 40) * 1e-4;
+    queue.push(simx::Event{t, seq++, {}, nullptr});
+  }
+  double last = 0.0;
+  for (auto _ : state) {
+    const simx::Event ev = queue.pop();
+    last = ev.time;
+    const double delay = 1.0 + static_cast<double>(mix(rng) >> 52);
+    queue.push(simx::Event{ev.time + delay, seq++, {}, nullptr});
+  }
+  benchmark::DoNotOptimize(last);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pending"] = static_cast<double>(pending);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(10240)->Arg(102400);
+
+/// The binary-heap reference point (what Engine used before the
+/// calendar queue): identical hold-N workload.
+void BM_BinaryHeapPushPop(benchmark::State& state) {
+  const std::size_t pending = static_cast<std::size_t>(state.range(0));
+  const auto after = [](const simx::Event& a, const simx::Event& b) {
+    return simx::EventBefore{}(b, a);
+  };
+  std::priority_queue<simx::Event, std::vector<simx::Event>, decltype(after)> queue(after);
+  std::uint64_t rng = 0x0123456789abcdefull;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    const double t = static_cast<double>(mix(rng) >> 40) * 1e-4;
+    queue.push(simx::Event{t, seq++, {}, nullptr});
+  }
+  double last = 0.0;
+  for (auto _ : state) {
+    const simx::Event ev = queue.top();
+    queue.pop();
+    last = ev.time;
+    const double delay = 1.0 + static_cast<double>(mix(rng) >> 52);
+    queue.push(simx::Event{ev.time + delay, seq++, {}, nullptr});
+  }
+  benchmark::DoNotOptimize(last);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["pending"] = static_cast<double>(pending);
+}
+BENCHMARK(BM_BinaryHeapPushPop)->Arg(1024)->Arg(10240)->Arg(102400);
+
+/// Engine reuse across replicas: spawn P trivial actors, run, reset.
+/// In steady state this allocates nothing (controls, contexts and the
+/// event queue's storage are all recycled), so the time is the pure
+/// bookkeeping cost per replica.
+void BM_EngineSpawnReset(benchmark::State& state) {
+  const std::size_t actors = 256;
+  simx::Engine engine(simx::make_star_platform(actors, 1e9, 1e8, 2e-6));
+  std::vector<simx::Host*> hosts;
+  hosts.reserve(actors);
+  for (std::size_t i = 0; i < actors; ++i) {
+    hosts.push_back(&engine.platform().host(simx::indexed_name("w", i)));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < actors; ++i) {
+      engine.spawn(simx::indexed_name("w", i), *hosts[i],
+                   [](simx::Context& ctx) -> simx::Actor {
+                     co_await ctx.sleep_for(1.0);
+                   });
+    }
+    const simx::SimTime end = engine.run();
+    benchmark::DoNotOptimize(end);
+    engine.reset();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(actors));
+  state.counters["actors"] = static_cast<double>(actors);
+}
+BENCHMARK(BM_EngineSpawnReset);
+
+/// Per-message route cost on a star platform: the indexed fast path
+/// (two loads and a range check per lookup -- no map walk, no string
+/// hash).
+void BM_RouteLookup(benchmark::State& state) {
+  const std::size_t workers = 1024;
+  const simx::Platform platform = simx::make_star_platform(workers, 1e9, 1e8, 2e-6);
+  const simx::Host& master = platform.host("master");
+  std::vector<const simx::Host*> hosts;
+  hosts.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    hosts.push_back(&platform.host(simx::indexed_name("w", i)));
+  }
+  std::size_t i = 0;
+  double sum = 0.0;
+  for (auto _ : state) {
+    sum += platform.comm_time(*hosts[i], master, 64);
+    i = (i + 1) & (workers - 1);
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteLookup);
+
+/// The interned numbered-name lookup used for every generated host,
+/// link and mailbox name.
+void BM_IndexedName(benchmark::State& state) {
+  std::size_t i = 0;
+  const std::string* last = nullptr;
+  for (auto _ : state) {
+    last = &simx::indexed_name("w", i & 1023);
+    ++i;
+  }
+  benchmark::DoNotOptimize(last);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedName);
+
+/// One full simulated replica per iteration with a reused RunContext --
+/// the exec::BatchRunner inner loop.  GSS keeps the chunk count (and so
+/// the event count) proportional to P log(n/P), which makes the
+/// per-event engine cost visible across three platform sizes.
+void BM_ReplicaE2E(benchmark::State& state) {
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  mw::Config cfg;
+  cfg.technique = dls::Kind::kGSS;
+  cfg.tasks = 16384;
+  cfg.workers = workers;
+  cfg.workload = workload::exponential(1.0);
+  cfg.params.mu = 1.0;
+  cfg.params.sigma = 1.0;
+  cfg.params.h = 0.5;
+  cfg.overhead_mode = mw::OverheadMode::kSimulated;
+  cfg.bandwidth = 1e8;
+  cfg.latency = 2e-6;
+  cfg.seed = 20170529;
+  mw::RunContext context;
+  double sum = 0.0;
+  for (auto _ : state) {
+    const mw::RunResult result = mw::run_simulation(cfg, context);
+    sum += result.makespan;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(cfg.tasks));
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_ReplicaE2E)->Unit(benchmark::kMillisecond)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

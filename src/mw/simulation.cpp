@@ -220,11 +220,13 @@ simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
   Shared& sh = *st.shared;
   RunContext::Impl& buf = *sh.buf;
   const Config& cfg = *sh.config;
-  WorkRequest request{st.id, 0, 0.0, false, 0};
+  const simx::SimTime request_delay = buf.request_delay[st.id];
+  simx::Mailbox<WorkRequest>& master_box = *buf.master_box;
+  simx::Mailbox<WorkReply>& reply_box = *buf.worker_box_ptrs[st.id];
+  co_await master_box.send_from_delayed(ctx, WorkRequest{st.id, 0, 0.0, false, 0},
+                                        request_delay);
+  WorkReply reply = co_await reply_box.recv(ctx);
   for (;;) {
-    co_await buf.master_box->send_from_delayed(ctx, request, buf.request_delay[st.id]);
-    if (request.failed) break;  // announced; the master expects nothing more
-    const WorkReply reply = co_await buf.worker_box_ptrs[st.id]->recv(ctx);
     if (reply.count == 0) break;
     // Nominal seconds are defined against the reference speed; the
     // host's own (possibly slower/faster, possibly time-varying) speed
@@ -232,9 +234,11 @@ simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
     const double flops = reply.work_seconds * cfg.host_speed;
     const double t0 = ctx.now();
     if (t0 >= st.failure_time) {
-      // Died while waiting: the whole chunk is lost.
-      request = WorkRequest{st.id, 0, 0.0, true, reply.count};
-      continue;
+      // Died while waiting: the whole chunk is lost.  Announce and stop;
+      // the master expects nothing more.
+      co_await master_box.send_from_delayed(
+          ctx, WorkRequest{st.id, 0, 0.0, true, reply.count}, request_delay);
+      break;
     }
     double finish = std::numeric_limits<double>::infinity();
     try {
@@ -248,13 +252,22 @@ simx::Actor worker_actor(simx::Context& ctx, WorkerState& st) {
     }
     if (finish > st.failure_time) {
       // Dies mid-chunk: burn until the failure instant (the partial
-      // results are lost -- fail-stop), then announce.
+      // results are lost -- fail-stop), then announce and stop.
       co_await ctx.compute_for(st.failure_time - t0);
-      request = WorkRequest{st.id, 0, 0.0, true, reply.count};
-      continue;
+      co_await master_box.send_from_delayed(
+          ctx, WorkRequest{st.id, 0, 0.0, true, reply.count}, request_delay);
+      break;
     }
-    co_await ctx.execute(flops);
-    request = WorkRequest{st.id, reply.count, ctx.now() - t0, false, 0};
+    // Fused execute + next request + reply wait: one simulation event
+    // and one suspension per chunk instead of two events and three
+    // suspensions (the wake-at-finish, send-completion, and
+    // recv-suspension points were always back to back).  `finish - t0`,
+    // the request's arrival time, and every accrual instant are
+    // bit-identical to the unfused
+    // `co_await ctx.execute(flops); ...send_from_delayed(...); recv()`.
+    co_await master_box.send_from_after(
+        ctx, WorkRequest{st.id, reply.count, finish - t0, false, 0}, finish, request_delay);
+    reply = co_await reply_box.recv(ctx);
   }
 }
 
@@ -295,10 +308,15 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
           parked.push_back(worker);
           continue;
         }
-        if (cfg.overhead_mode == OverheadMode::kSimulated && cfg.params.h > 0.0) {
-          co_await ctx.compute_for(cfg.params.h);
-        }
-        const std::size_t chunk = tech.next_chunk(dls::Request{worker, ctx.now()});
+        // The scheduling-overhead window [now, issue_at) is charged as
+        // master computing time by the fused send below; issue_at is the
+        // exact clock value the old `co_await ctx.compute_for(h)` would
+        // have woken at, so the technique sees identical request times.
+        const simx::SimTime issue_at =
+            (cfg.overhead_mode == OverheadMode::kSimulated && cfg.params.h > 0.0)
+                ? ctx.now() + cfg.params.h
+                : ctx.now();
+        const std::size_t chunk = tech.next_chunk(dls::Request{worker, issue_at});
         double seconds = 0.0;
         RangeList& served = buf.last_served[worker];
         pool.take(chunk, buf.prefix, seconds, served);
@@ -310,10 +328,12 @@ simx::Actor master_actor(simx::Context& ctx, Shared& sh) {
           for (const TaskRange& r : served) {
             buf.range_log.push_back(ServedRangeEntry{buf.chunk_log.size(), r.first, r.count});
           }
-          buf.chunk_log.push_back(ChunkLogEntry{worker, log_first, chunk, ctx.now(), seconds});
+          buf.chunk_log.push_back(ChunkLogEntry{worker, log_first, chunk, issue_at, seconds});
         }
-        co_await buf.worker_box_ptrs[worker]->send_from_delayed(
-            ctx, WorkReply{seconds, chunk, log_first}, buf.reply_delay[worker]);
+        // Fused overhead-compute + reply send: one event per served
+        // chunk instead of two.
+        co_await buf.worker_box_ptrs[worker]->send_from_after(
+            ctx, WorkReply{seconds, chunk, log_first}, issue_at, buf.reply_delay[worker]);
         continue;
       }
       const WorkRequest request = co_await buf.master_box->recv(ctx);
@@ -442,18 +462,21 @@ RunResult run_simulation(const Config& config, RunContext& context) {
     buf.engine.reset();
 
     simx::Platform platform;
-    platform.add_host("master", config.host_speed);
+    const simx::Host& master = platform.add_host("master", config.host_speed);
     for (std::size_t i = 0; i < p; ++i) {
       const double factor =
           config.worker_speed_factors.empty() ? 1.0 : config.worker_speed_factors[i];
-      const std::string& host_name = simx::indexed_name("w", i);
-      simx::Host& worker_host = platform.add_host(host_name, config.host_speed * factor);
+      simx::Host& worker_host =
+          platform.add_host(simx::indexed_name("w", i), config.host_speed * factor);
       if (!config.worker_speed_profiles.empty()) {
         worker_host.set_speed_profile(config.worker_speed_profiles[i]);
       }
-      const std::string& link_name = simx::indexed_name("l", i);
-      platform.add_link(link_name, config.bandwidth, config.latency);
-      platform.add_route("master", host_name, {link_name});
+      const simx::Link& link =
+          platform.add_link(simx::indexed_name("l", i), config.bandwidth, config.latency);
+      // Index-based route registration: construction does no name
+      // lookups (the add_host/add_link duplicate checks are the only
+      // string comparisons left on this path).
+      platform.add_route(master, worker_host, link);
     }
     buf.engine.emplace(std::move(platform));
     buf.shape = PlatformShape{p,

@@ -20,58 +20,6 @@ void Actor::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
   // destroys the frame in ~Engine.
 }
 
-TimedSuspend::TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
-                           ActorState during, MailboxBase* deliver)
-    : engine_(&engine), control_(&control), wake_at_(wake_at), during_(during),
-      deliver_(deliver) {
-  if (wake_at_ < engine_->now()) {
-    throw std::logic_error("TimedSuspend: wake-up time lies in the past");
-  }
-}
-
-bool TimedSuspend::await_ready() const noexcept {
-  // Zero-duration activities complete immediately without suspension.
-  // (A pending delivery always has wake_at > now, so it never skips
-  // the suspension below.)
-  return wake_at_ <= engine_->now();
-}
-
-void TimedSuspend::await_suspend(std::coroutine_handle<> handle) const {
-  control_->set_state(during_, engine_->now());
-  if (deliver_ != nullptr) {
-    engine_->schedule_delivery_then_resume(wake_at_, *deliver_, handle);
-  } else {
-    engine_->schedule_resume(wake_at_, handle);
-  }
-}
-
-void TimedSuspend::await_resume() const {
-  if (control_->state != ActorState::kReady) {
-    control_->set_state(ActorState::kReady, engine_->now());
-  }
-}
-
-SimTime Context::now() const { return engine_->now(); }
-
-TimedSuspend Context::execute(double flops) const {
-  const SimTime end = host().finish_time(now(), flops);
-  return TimedSuspend(*engine_, *control_, end, ActorState::kComputing);
-}
-
-TimedSuspend Context::compute_for(SimTime duration) const {
-  if (duration < 0.0) throw std::invalid_argument("compute_for: negative duration");
-  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kComputing);
-}
-
-TimedSuspend Context::sleep_for(SimTime duration) const {
-  if (duration < 0.0) throw std::invalid_argument("sleep_for: negative duration");
-  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kSleeping);
-}
-
-TimedSuspend Context::sleep_until(SimTime t) const {
-  return TimedSuspend(*engine_, *control_, t, ActorState::kSleeping);
-}
-
 Engine::~Engine() {
   for (auto& control : actors_) {
     if (control->handle) control->handle.destroy();
@@ -113,11 +61,14 @@ SimTime Engine::run() {
   if (running_) throw std::logic_error("Engine::run is not reentrant");
   running_ = true;
   while (!events_.empty()) {
-    const Event event = events_.top();
-    events_.pop();
+    const Event event = events_.pop();
     now_ = event.time;
     if (event.mailbox != nullptr) {
-      event.mailbox->on_deliver();
+      if (event.payload != nullptr) {
+        event.mailbox->on_deliver_payload(event.payload);
+      } else {
+        event.mailbox->on_deliver();
+      }
     }
     if (event.resume && !event.resume.done()) {
       event.resume.resume();
@@ -143,7 +94,7 @@ void Engine::reset() {
     spare_controls_.push_back(std::move(control));
   }
   actors_.clear();
-  events_.clear();  // keeps the heap's capacity
+  events_.clear();  // keeps the queue's capacity and adapted geometry
   now_ = 0.0;
   sequence_ = 0;
 }
@@ -202,24 +153,6 @@ std::vector<ActorAccounting> Engine::accounting() const {
     acc.waiting = time_in(ActorState::kWaitingRecv);
   }
   return out;
-}
-
-void Engine::schedule_resume(SimTime t, std::coroutine_handle<> handle) {
-  push_event(Event{t, next_sequence(), handle, nullptr});
-}
-
-void Engine::schedule_delivery(SimTime t, MailboxBase& mailbox) {
-  push_event(Event{t, next_sequence(), {}, &mailbox});
-}
-
-void Engine::schedule_delivery_then_resume(SimTime t, MailboxBase& mailbox,
-                                           std::coroutine_handle<> handle) {
-  push_event(Event{t, next_sequence(), handle, &mailbox});
-}
-
-void Engine::push_event(Event event) {
-  if (event.time < now_) throw std::logic_error("event scheduled in the past");
-  events_.push(event);
 }
 
 }  // namespace simx

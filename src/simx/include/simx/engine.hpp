@@ -6,11 +6,12 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "simx/event_queue.hpp"
 #include "simx/platform.hpp"
 
 namespace simx {
@@ -137,11 +138,20 @@ struct ActorTimes {
 /// next in-flight message immediately before resuming the actor -- the
 /// blocking-send fast path, which folds the delivery event and the
 /// sender's resume event (always adjacent in time and sequence) into
-/// one event-heap entry.
+/// one event-queue entry.
+///
+/// With `communicate_from` set below `wake_at`, the suspension is
+/// two-phase: the actor is accounted `during` until communicate_from
+/// and kCommunicating from there to wake_at.  This is the fully fused
+/// "compute, then blocking-send" awaitable (Mailbox::send_from_after):
+/// one event where the unfused sequence costs two, with accrual
+/// identical to the two-awaitable form.
 class TimedSuspend {
  public:
   TimedSuspend(Engine& engine, detail::ActorControl& control, SimTime wake_at,
-               ActorState during, MailboxBase* deliver = nullptr);
+               ActorState during, MailboxBase* deliver = nullptr,
+               SimTime communicate_from = std::numeric_limits<SimTime>::infinity(),
+               void* payload = nullptr);
 
   [[nodiscard]] bool await_ready() const noexcept;
   void await_suspend(std::coroutine_handle<> handle) const;
@@ -153,6 +163,8 @@ class TimedSuspend {
   SimTime wake_at_;
   ActorState during_;
   MailboxBase* deliver_;
+  SimTime communicate_from_;
+  void* payload_;
 };
 
 /// The per-actor API surface (analog of the MSG process functions).
@@ -200,11 +212,15 @@ class MailboxBase {
   friend class Engine;
   /// Called at the virtual time a message becomes visible.
   virtual void on_deliver() = 0;
+  /// Called at the virtual time an event-carried message (a fused
+  /// send's payload, stored in the suspended sender's frame) becomes
+  /// visible; `slot` points at the typed value to move out.
+  virtual void on_deliver_payload(void* slot) = 0;
 };
 
-/// Discrete-event simulation engine: virtual clock + event heap +
-/// coroutine actors.  Single-threaded by design; experiments run many
-/// engines concurrently (one per run) via support::parallel_for.
+/// Discrete-event simulation engine: virtual clock + calendar event
+/// queue + coroutine actors.  Single-threaded by design; experiments
+/// run many engines concurrently (one per run) via support::parallel_for.
 class Engine {
  public:
   explicit Engine(Platform platform) : platform_(std::move(platform)) {}
@@ -237,13 +253,13 @@ class Engine {
   SimTime run();
 
   /// Destroy all actors and pending events and rewind the clock to 0,
-  /// keeping the platform (hosts, links, routes) and the event-heap
+  /// keeping the platform (hosts, links, routes) and the event-queue
   /// capacity.  This is what makes per-thread engine reuse across a
   /// batch of runs cheap: the platform -- the only construction cost
   /// that grows with the worker count -- is built once.
   void reset();
 
-  /// Pre-size the event heap (chunk serving schedules a handful of
+  /// Pre-size the event queue (chunk serving schedules a handful of
   /// events per in-flight worker; reserving avoids regrowth mid-run).
   void reserve_events(std::size_t count);
 
@@ -261,36 +277,32 @@ class Engine {
   [[nodiscard]] ActorTimes actor_times(std::size_t index) const;
 
   /// --- engine-internal API used by awaitables and mailboxes ---
-  void schedule_resume(SimTime t, std::coroutine_handle<> handle);
-  void schedule_delivery(SimTime t, MailboxBase& mailbox);
+  /// (Inline: these run a handful of times per simulated chunk; the
+  /// event push must compile down into the caller.)
+  void schedule_resume(SimTime t, std::coroutine_handle<> handle) {
+    push_event(Event{t, next_sequence(), handle, nullptr});
+  }
+  void schedule_delivery(SimTime t, MailboxBase& mailbox) {
+    push_event(Event{t, next_sequence(), {}, &mailbox});
+  }
   /// One event that delivers `mailbox`'s next message and then resumes
-  /// `handle` (see TimedSuspend's deliver parameter).
+  /// `handle` (see TimedSuspend's deliver parameter).  With `payload`
+  /// set, the message value rides on the event itself (it lives in the
+  /// suspended sender's coroutine frame) instead of in the mailbox's
+  /// in-flight queue -- the fully fused send never touches a sorted
+  /// container at all.
   void schedule_delivery_then_resume(SimTime t, MailboxBase& mailbox,
-                                     std::coroutine_handle<> handle);
+                                     std::coroutine_handle<> handle,
+                                     void* payload = nullptr) {
+    push_event(Event{t, next_sequence(), handle, &mailbox, payload});
+  }
   [[nodiscard]] std::uint64_t next_sequence() { return sequence_++; }
 
  private:
-  struct Event {
-    SimTime time = 0.0;
-    std::uint64_t seq = 0;
-    std::coroutine_handle<> resume{};  // valid for resume events
-    MailboxBase* mailbox = nullptr;    // valid for delivery events
-    // An event with both fields delivers first, then resumes.
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  /// priority_queue with access to the underlying vector, so reset()
-  /// can keep its capacity and reserve_events() can pre-size it.
-  struct EventQueue : std::priority_queue<Event, std::vector<Event>, EventLater> {
-    void clear() { c.clear(); }
-    void reserve(std::size_t count) { c.reserve(count); }
-  };
-
-  void push_event(Event event);
+  void push_event(Event event) {
+    if (event.time < now_) throw std::logic_error("event scheduled in the past");
+    events_.push(event);
+  }
   /// Arena-backed control acquisition (pops spare_controls_ or
   /// allocates) and spawn completion -- the non-template halves of
   /// spawn(), so the template stays a two-liner.
@@ -302,7 +314,7 @@ class Engine {
   Platform platform_;
   SimTime now_ = 0.0;
   std::uint64_t sequence_ = 0;
-  EventQueue events_;
+  CalendarQueue events_;
   std::vector<std::unique_ptr<detail::ActorControl>> actors_;
   /// Controls recycled by reset(): per-actor bookkeeping (control,
   /// context, name capacity) is allocated once per engine lifetime,
@@ -310,5 +322,68 @@ class Engine {
   std::vector<std::unique_ptr<detail::ActorControl>> spare_controls_;
   bool running_ = false;
 };
+
+/// --- inline hot-path definitions (need the full Engine class) ---
+/// TimedSuspend and the Context activity constructors run a handful of
+/// times per simulated chunk across every backend; keeping them in the
+/// header lets the compiler fold them into the actor coroutines.
+
+inline TimedSuspend::TimedSuspend(Engine& engine, detail::ActorControl& control,
+                                  SimTime wake_at, ActorState during, MailboxBase* deliver,
+                                  SimTime communicate_from, void* payload)
+    : engine_(&engine), control_(&control), wake_at_(wake_at), during_(during),
+      deliver_(deliver), communicate_from_(communicate_from), payload_(payload) {
+  if (wake_at_ < engine_->now()) {
+    throw std::logic_error("TimedSuspend: wake-up time lies in the past");
+  }
+}
+
+inline bool TimedSuspend::await_ready() const noexcept {
+  // Zero-duration activities complete immediately without suspension.
+  // (A pending delivery always has wake_at > now, so it never skips
+  // the suspension below.)
+  return wake_at_ <= engine_->now();
+}
+
+inline void TimedSuspend::await_suspend(std::coroutine_handle<> handle) const {
+  control_->set_state(during_, engine_->now());
+  if (deliver_ != nullptr) {
+    engine_->schedule_delivery_then_resume(wake_at_, *deliver_, handle, payload_);
+  } else {
+    engine_->schedule_resume(wake_at_, handle);
+  }
+}
+
+inline void TimedSuspend::await_resume() const {
+  if (communicate_from_ < wake_at_ && control_->state == during_) {
+    // Two-phase accrual: close the `during` phase at the hand-off time
+    // before the kReady transition charges the rest to kCommunicating.
+    control_->set_state(ActorState::kCommunicating, communicate_from_);
+  }
+  if (control_->state != ActorState::kReady) {
+    control_->set_state(ActorState::kReady, engine_->now());
+  }
+}
+
+inline SimTime Context::now() const { return engine_->now(); }
+
+inline TimedSuspend Context::execute(double flops) const {
+  const SimTime end = host().finish_time(now(), flops);
+  return TimedSuspend(*engine_, *control_, end, ActorState::kComputing);
+}
+
+inline TimedSuspend Context::compute_for(SimTime duration) const {
+  if (duration < 0.0) throw std::invalid_argument("compute_for: negative duration");
+  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kComputing);
+}
+
+inline TimedSuspend Context::sleep_for(SimTime duration) const {
+  if (duration < 0.0) throw std::invalid_argument("sleep_for: negative duration");
+  return TimedSuspend(*engine_, *control_, now() + duration, ActorState::kSleeping);
+}
+
+inline TimedSuspend Context::sleep_until(SimTime t) const {
+  return TimedSuspend(*engine_, *control_, t, ActorState::kSleeping);
+}
 
 }  // namespace simx

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -53,9 +52,24 @@ class Host {
   /// Virtual time at which `flops` of work started at `start` completes,
   /// integrating the speed profile.  Throws std::runtime_error if the
   /// host's remaining capacity is zero forever (work can never finish).
-  [[nodiscard]] SimTime finish_time(SimTime start, double flops) const;
+  ///
+  /// Inline fast path for the overwhelmingly common constant-speed host
+  /// (one profile segment): the per-chunk execute() call must not pay
+  /// an out-of-line segment walk.
+  [[nodiscard]] SimTime finish_time(SimTime start, double flops) const {
+    if (profile_.time_points.size() == 1) {
+      if (flops <= 0.0) return start;
+      const double speed = profile_.speeds[0];
+      // speed == 0 falls through to the profiled path for its
+      // "cannot finish" diagnostic.
+      if (speed > 0.0) return start + flops / speed;
+    }
+    return finish_time_profiled(start, flops);
+  }
 
  private:
+  [[nodiscard]] SimTime finish_time_profiled(SimTime start, double flops) const;
+
   std::string name_;
   std::size_t index_;
   SpeedProfile profile_;
@@ -93,6 +107,11 @@ class Platform {
   /// links.  Re-registering a pair overwrites the previous route.
   void add_route(const std::string& host_a, const std::string& host_b,
                  const std::vector<std::string>& link_names);
+  /// Index-based single-link route registration: the construction fast
+  /// path for generated topologies (star builders, the mw serve loop),
+  /// which already hold the Host&/Link& returned by add_host/add_link
+  /// and should not re-resolve them by name.
+  void add_route(const Host& host_a, const Host& host_b, const Link& link);
 
   [[nodiscard]] Host& host(std::string_view name);
   [[nodiscard]] const Host& host(std::string_view name) const;
@@ -109,15 +128,27 @@ class Platform {
  private:
   struct RouteCost {
     SimTime latency = 0.0;
-    double bandwidth = 0.0;
+    double bandwidth = 0.0;  ///< > 0 for a registered route (add_link validates)
   };
-  [[nodiscard]] static std::pair<std::size_t, std::size_t> route_key(const Host& a, const Host& b);
+  /// Dense per-host route row with a base offset: costs[j] is the route
+  /// to peer index base + j, bandwidth == 0 meaning "no route".  A star
+  /// topology stores O(hosts) total (the hub's row is contiguous, each
+  /// leaf's row is one entry), and comm_time is two loads and a range
+  /// check -- no tree walk, no pair hashing.
+  struct RouteRow {
+    std::size_t base = 0;
+    std::vector<RouteCost> costs;
+  };
+
+  void set_route_cost(std::size_t from, std::size_t to, RouteCost cost);
 
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Link>> links_;
-  std::map<std::string, std::size_t, std::less<>> host_by_name_;
-  std::map<std::string, std::size_t, std::less<>> link_by_name_;
-  std::map<std::pair<std::size_t, std::size_t>, RouteCost> routes_;
+  /// Host/link indices kept sorted by name: flat binary-search lookup
+  /// replaces the node-based std::map (construction-time only paths).
+  std::vector<std::size_t> hosts_by_name_;
+  std::vector<std::size_t> links_by_name_;
+  std::vector<RouteRow> routes_;  ///< indexed by host index
 };
 
 /// Convenience constructors for the topologies used by the experiments.

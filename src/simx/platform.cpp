@@ -1,34 +1,111 @@
 #include "simx/platform.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cmath>
-#include <deque>
 #include <limits>
-#include <map>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 
 namespace simx {
 
+namespace {
+
+/// Lock-free interner storage for one prefix: geometrically sized
+/// blocks of eagerly built "<prefix><i>" strings.  Block b holds
+/// 64 << b entries starting at index (2^b - 1) * 64; blocks are never
+/// moved or freed while the process lives, so returned references are
+/// stable.  Readers take no lock at all: `published` is stored with
+/// release order after a whole block of strings is constructed, and an
+/// acquire load of it makes those strings (and the block pointer)
+/// visible.  Writers serialize on `grow_mutex`.
+struct PrefixTable {
+  static constexpr std::size_t kBlockShift = 6;  // block 0 holds 64 strings
+  static constexpr std::size_t kBlocks = 48;
+
+  std::atomic<std::size_t> published{0};
+  std::array<std::atomic<std::string*>, kBlocks> blocks{};
+  std::mutex grow_mutex;
+  std::string prefix;
+
+  static std::pair<std::size_t, std::size_t> locate(std::size_t index) {
+    const std::size_t slot = (index >> kBlockShift) + 1;
+    const std::size_t block = static_cast<std::size_t>(std::bit_width(slot)) - 1;
+    const std::size_t block_start = ((std::size_t{1} << block) - 1) << kBlockShift;
+    return {block, index - block_start};
+  }
+
+  const std::string& get(std::size_t index) {
+    if (index >= published.load(std::memory_order_acquire)) grow_to(index);
+    const auto [block, offset] = locate(index);
+    return blocks[block].load(std::memory_order_relaxed)[offset];
+  }
+
+  void grow_to(std::size_t index) {
+    std::lock_guard<std::mutex> lock(grow_mutex);
+    std::size_t count = published.load(std::memory_order_relaxed);
+    while (count <= index) {
+      const auto [block, offset] = locate(count);
+      static_cast<void>(offset);
+      const std::size_t block_size = std::size_t{1} << (kBlockShift + block);
+      std::string* strings = new std::string[block_size];
+      for (std::size_t i = 0; i < block_size; ++i) {
+        strings[i] = prefix + std::to_string(count + i);
+      }
+      blocks[block].store(strings, std::memory_order_relaxed);
+      count += block_size;
+    }
+    // Publish whole blocks at once; the release pairs with the acquire
+    // in get() to make the block pointers and string contents visible.
+    published.store(count, std::memory_order_release);
+  }
+
+  ~PrefixTable() {
+    for (std::atomic<std::string*>& block : blocks) {
+      delete[] block.load(std::memory_order_relaxed);
+    }
+  }
+};
+
+PrefixTable& prefix_table(std::string_view prefix) {
+  // Thread-local cache of resolved prefixes: the steady-state lookup
+  // ("w", "l", "worker") is a short linear scan with zero shared state.
+  struct CacheEntry {
+    std::string prefix;
+    PrefixTable* table;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& entry : cache) {
+    if (entry.prefix == prefix) return *entry.table;
+  }
+  static std::mutex registry_mutex;
+  static std::vector<std::unique_ptr<PrefixTable>>* registry =
+      new std::vector<std::unique_ptr<PrefixTable>>();  // leaked: references outlive statics
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  PrefixTable* table = nullptr;
+  for (const std::unique_ptr<PrefixTable>& t : *registry) {
+    if (t->prefix == prefix) {
+      table = t.get();
+      break;
+    }
+  }
+  if (table == nullptr) {
+    registry->push_back(std::make_unique<PrefixTable>());
+    table = registry->back().get();
+    table->prefix = std::string(prefix);
+  }
+  cache.push_back(CacheEntry{std::string(prefix), table});
+  return *table;
+}
+
+}  // namespace
+
 const std::string& indexed_name(std::string_view prefix, std::size_t index) {
-  // deque gives stable references under push_back; the map's nodes are
-  // stable too, so returned references never move.
-  static std::shared_mutex mutex;
-  static std::map<std::string, std::deque<std::string>, std::less<>> tables;
-  {
-    std::shared_lock lock(mutex);
-    const auto it = tables.find(prefix);
-    if (it != tables.end() && index < it->second.size()) return it->second[index];
-  }
-  std::unique_lock lock(mutex);
-  std::deque<std::string>& table = tables.try_emplace(std::string(prefix)).first->second;
-  while (table.size() <= index) {
-    table.push_back(std::string(prefix) + std::to_string(table.size()));
-  }
-  return table[index];
+  return prefix_table(prefix).get(index);
 }
 
 void SpeedProfile::validate() const {
@@ -64,7 +141,7 @@ void Host::set_speed_profile(SpeedProfile profile) {
   profile_ = std::move(profile);
 }
 
-SimTime Host::finish_time(SimTime start, double flops) const {
+SimTime Host::finish_time_profiled(SimTime start, double flops) const {
   if (flops <= 0.0) return start;
   // Locate the active segment, then consume capacity segment by segment.
   std::size_t seg = 0;
@@ -90,24 +167,64 @@ SimTime Host::finish_time(SimTime start, double flops) const {
   }
 }
 
+namespace {
+
+const std::string& item_name(const Host& h) { return h.name(); }
+const std::string& item_name(const Link& l) { return l.name; }
+
+/// Binary search in an index vector kept sorted by element name.
+/// Returns the insertion position; *found tells whether the name is
+/// already present there.
+template <typename Owned>
+std::size_t name_position(const std::vector<std::size_t>& sorted,
+                          const std::vector<std::unique_ptr<Owned>>& items,
+                          std::string_view name, bool* found) {
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), name,
+      [&](std::size_t index, std::string_view key) { return item_name(*items[index]) < key; });
+  *found = it != sorted.end() && item_name(*items[*it]) == name;
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+}  // namespace
+
 Host& Platform::add_host(const std::string& name, double speed_flops) {
-  if (host_by_name_.contains(name)) throw std::invalid_argument("duplicate host: " + name);
+  bool found = false;
+  const std::size_t pos = name_position(hosts_by_name_, hosts_, name, &found);
+  if (found) throw std::invalid_argument("duplicate host: " + name);
   hosts_.push_back(std::make_unique<Host>(name, speed_flops, hosts_.size()));
-  host_by_name_.emplace(name, hosts_.size() - 1);
+  hosts_by_name_.insert(hosts_by_name_.begin() + static_cast<std::ptrdiff_t>(pos),
+                        hosts_.size() - 1);
+  routes_.emplace_back();
   return *hosts_.back();
 }
 
 Link& Platform::add_link(const std::string& name, double bandwidth, SimTime latency) {
-  if (link_by_name_.contains(name)) throw std::invalid_argument("duplicate link: " + name);
+  bool found = false;
+  const std::size_t pos = name_position(links_by_name_, links_, name, &found);
+  if (found) throw std::invalid_argument("duplicate link: " + name);
   if (!(bandwidth > 0.0)) throw std::invalid_argument("link bandwidth must be > 0");
   if (latency < 0.0) throw std::invalid_argument("link latency must be >= 0");
   links_.push_back(std::make_unique<Link>(Link{name, bandwidth, latency}));
-  link_by_name_.emplace(name, links_.size() - 1);
+  links_by_name_.insert(links_by_name_.begin() + static_cast<std::ptrdiff_t>(pos),
+                        links_.size() - 1);
   return *links_.back();
 }
 
-std::pair<std::size_t, std::size_t> Platform::route_key(const Host& a, const Host& b) {
-  return {std::min(a.index(), b.index()), std::max(a.index(), b.index())};
+void Platform::set_route_cost(std::size_t from, std::size_t to, RouteCost cost) {
+  RouteRow& row = routes_[from];
+  if (row.costs.empty()) {
+    row.base = to;
+    row.costs.push_back(cost);
+    return;
+  }
+  if (to < row.base) {
+    row.costs.insert(row.costs.begin(), row.base - to, RouteCost{});
+    row.base = to;
+  } else if (to - row.base >= row.costs.size()) {
+    row.costs.resize(to - row.base + 1);
+  }
+  row.costs[to - row.base] = cost;
 }
 
 void Platform::add_route(const std::string& host_a, const std::string& host_b,
@@ -120,54 +237,65 @@ void Platform::add_route(const std::string& host_a, const std::string& host_b,
     cost.latency += l.latency;
     cost.bandwidth = std::min(cost.bandwidth, l.bandwidth);
   }
-  routes_[route_key(host(host_a), host(host_b))] = cost;
+  const std::size_t a = host(host_a).index();
+  const std::size_t b = host(host_b).index();
+  set_route_cost(a, b, cost);
+  set_route_cost(b, a, cost);
+}
+
+void Platform::add_route(const Host& host_a, const Host& host_b, const Link& link) {
+  const RouteCost cost{link.latency, link.bandwidth};
+  set_route_cost(host_a.index(), host_b.index(), cost);
+  set_route_cost(host_b.index(), host_a.index(), cost);
 }
 
 Host& Platform::host(std::string_view name) {
-  auto it = host_by_name_.find(name);
-  if (it == host_by_name_.end()) {
-    throw std::invalid_argument("unknown host: " + std::string(name));
-  }
-  return *hosts_[it->second];
+  bool found = false;
+  const std::size_t pos = name_position(hosts_by_name_, hosts_, name, &found);
+  if (!found) throw std::invalid_argument("unknown host: " + std::string(name));
+  return *hosts_[hosts_by_name_[pos]];
 }
 
 const Host& Platform::host(std::string_view name) const {
-  auto it = host_by_name_.find(name);
-  if (it == host_by_name_.end()) {
-    throw std::invalid_argument("unknown host: " + std::string(name));
-  }
-  return *hosts_[it->second];
+  bool found = false;
+  const std::size_t pos = name_position(hosts_by_name_, hosts_, name, &found);
+  if (!found) throw std::invalid_argument("unknown host: " + std::string(name));
+  return *hosts_[hosts_by_name_[pos]];
 }
 
-bool Platform::has_host(std::string_view name) const { return host_by_name_.contains(name); }
+bool Platform::has_host(std::string_view name) const {
+  bool found = false;
+  static_cast<void>(name_position(hosts_by_name_, hosts_, name, &found));
+  return found;
+}
 
 Link& Platform::link(std::string_view name) {
-  auto it = link_by_name_.find(name);
-  if (it == link_by_name_.end()) {
-    throw std::invalid_argument("unknown link: " + std::string(name));
-  }
-  return *links_[it->second];
+  bool found = false;
+  const std::size_t pos = name_position(links_by_name_, links_, name, &found);
+  if (!found) throw std::invalid_argument("unknown link: " + std::string(name));
+  return *links_[links_by_name_[pos]];
 }
 
 SimTime Platform::comm_time(const Host& src, const Host& dst, std::size_t bytes) const {
   if (src.index() == dst.index()) return 0.0;
-  auto it = routes_.find(route_key(src, dst));
-  if (it == routes_.end()) {
+  const RouteRow& row = routes_[src.index()];
+  const std::size_t peer = dst.index();
+  if (peer < row.base || peer - row.base >= row.costs.size() ||
+      !(row.costs[peer - row.base].bandwidth > 0.0)) {
     throw std::runtime_error("no route between '" + src.name() + "' and '" + dst.name() + "'");
   }
-  return it->second.latency + static_cast<double>(bytes) / it->second.bandwidth;
+  const RouteCost& cost = row.costs[peer - row.base];
+  return cost.latency + static_cast<double>(bytes) / cost.bandwidth;
 }
 
 Platform make_star_platform(std::size_t workers, double speed, double bandwidth,
                             SimTime latency) {
   Platform p;
-  p.add_host("master", speed);
+  const Host& master = p.add_host("master", speed);
   for (std::size_t i = 0; i < workers; ++i) {
-    const std::string& host = indexed_name("w", i);
-    const std::string& link = indexed_name("l", i);
-    p.add_host(host, speed);
-    p.add_link(link, bandwidth, latency);
-    p.add_route("master", host, {link});
+    const Host& host = p.add_host(indexed_name("w", i), speed);
+    const Link& link = p.add_link(indexed_name("l", i), bandwidth, latency);
+    p.add_route(master, host, link);
   }
   return p;
 }

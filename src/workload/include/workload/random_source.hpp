@@ -62,10 +62,27 @@ class XoshiroSource final : public RandomSource {
     // 53 high-quality bits -> [0,1).
     return static_cast<double>(next_u64() >> 11) * 0x1p-53;
   }
-  std::uint64_t next_u64() override;
+  // Inline: one virtual dispatch per draw is unavoidable through the
+  // interface, but the xoshiro step itself must not cost a second call
+  // (the per-task draw is on the simulation hot path).
+  std::uint64_t next_u64() override {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
   [[nodiscard]] std::unique_ptr<RandomSource> split(std::uint64_t index) const override;
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   std::uint64_t seed_;
 };

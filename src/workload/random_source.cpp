@@ -11,8 +11,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 XoshiroSource::XoshiroSource(std::uint64_t seed) : seed_(seed) {
@@ -21,18 +19,6 @@ XoshiroSource::XoshiroSource(std::uint64_t seed) : seed_(seed) {
   // A state of all zeros would be a fixed point; splitmix64 cannot
   // produce four zero words from any seed, but keep the guard explicit.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t XoshiroSource::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 std::unique_ptr<RandomSource> XoshiroSource::split(std::uint64_t index) const {

@@ -214,6 +214,46 @@ TEST(Lint, BareMutexInThreadedSubsystem) {
   EXPECT_EQ(run_lint(wrapper).exit_code, 0);
 }
 
+TEST(Lint, NodeMapInEventCoreHotPath) {
+  const TempDir dir;
+  const std::string file = write_file(dir.path(), "src/simx/table.cpp",
+                                      "#include <map>\n"
+                                      "struct Table {\n"
+                                      "  std::map<int, double> routes;\n"
+                                      "  std::unordered_map<unsigned, double> costs;\n"
+                                      "};\n");
+  const LintResult r = run_lint(file);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find(file + ":3:8: error: 'std::map' in event-core code"),
+            std::string::npos);
+  EXPECT_NE(r.output.find(file + ":4:8: error: 'std::unordered_map' in event-core code"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("[map-in-hot-path]"), std::string::npos);
+}
+
+TEST(Lint, NodeMapFineOutsideEventCore) {
+  // The identical container in a cold layer (experiment parsing) and a
+  // non-std map type in the hot layer are both fine.
+  const TempDir dir;
+  const std::string cold = write_file(dir.path(), "src/repro/layout.cpp",
+                                      "#include <map>\n"
+                                      "std::map<int, int> g_lines;\n");
+  EXPECT_EQ(run_lint(cold).exit_code, 0);
+  const std::string flat = write_file(dir.path(), "src/mw/cache.cpp",
+                                      "struct Shape { flat::map<int, int> cells; };\n");
+  EXPECT_EQ(run_lint(flat).exit_code, 0);
+}
+
+TEST(Lint, NodeMapAllowedForConstructionPaths) {
+  const TempDir dir;
+  const std::string file =
+      write_file(dir.path(), "src/mw/parse.cpp",
+                 "#include <map>\n"
+                 "// dls-lint: allow(map-in-hot-path)  construction-time only\n"
+                 "std::map<int, int> g_construction_index;\n");
+  EXPECT_EQ(run_lint(file).exit_code, 0);
+}
+
 TEST(Lint, AllowCommentSuppressesOnItsLine) {
   const TempDir dir;
   const std::string file =
@@ -290,7 +330,8 @@ TEST(Lint, ListRulesNamesEveryRule) {
   const LintResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule : {"wall-clock", "nondeterministic-rand", "raw-shard-io",
-                           "naked-net", "unbounded-sleep", "bare-mutex"}) {
+                           "naked-net", "unbounded-sleep", "bare-mutex",
+                           "map-in-hot-path"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -177,6 +177,29 @@ TEST(Golden, TssSimulatedOverheadRealNetwork) {
                             0xa24d83018aec716bull, 0xd9bcc89e34826c04ull});
 }
 
+TEST(Golden, GssSimulatedOverheadRealNetwork) {
+  // Pins the event-core hot path end to end: simulated overhead (the
+  // master's serve suspension), a real star network (route-cost
+  // lookups), and the fused compute+send path on every chunk.
+  // Recorded from the binary-heap engine before the calendar-queue
+  // overhaul; the overhaul must keep it bit-identical.
+  mw::Config cfg;
+  cfg.technique = Kind::kGSS;
+  cfg.workers = 16;
+  cfg.tasks = 4096;
+  cfg.workload = workload::exponential(1.0);
+  cfg.params.mu = 1.0;
+  cfg.params.sigma = 1.0;
+  cfg.params.h = 0.5;
+  cfg.seed = 20170529;
+  cfg.overhead_mode = mw::OverheadMode::kSimulated;
+  cfg.latency = 2e-6;
+  cfg.bandwidth = 1e8;
+  cfg.record_chunk_log = true;
+  expect_golden(cfg, Golden{"gss_net", 0x1.13df8aacdf8afp+8, 96, 0x1.031e4d50c4528p+12, 0,
+                            0x99627792392a01d1ull, 0x3690211110f30ec4ull});
+}
+
 TEST(Golden, SelfSchedulingExponential) {
   mw::Config cfg;
   cfg.technique = Kind::kSS;

@@ -1,0 +1,75 @@
+// indexed_name interner tests: returned references must be stable for
+// the process lifetime, contents must be exact, and concurrent lookups
+// (the thread-pool hammer below) must neither race nor tear -- this
+// file is part of the TSan battery in CI, where the lock-free
+// publish/acquire protocol of the block table is actually checked.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simx/platform.hpp"
+
+namespace {
+
+using simx::indexed_name;
+
+TEST(IndexedName, ContentAndReferenceStability) {
+  const std::string& w0 = indexed_name("w", 0);
+  EXPECT_EQ(w0, "w0");
+  EXPECT_EQ(indexed_name("w", 12345), "w12345");
+  EXPECT_EQ(indexed_name("l", 7), "l7");
+  EXPECT_EQ(indexed_name("", 3), "3");
+
+  // Same (prefix, index) yields the same object, even after the table
+  // grew by orders of magnitude in between.
+  const std::string* first = &indexed_name("stable", 5);
+  (void)indexed_name("stable", 100000);
+  EXPECT_EQ(first, &indexed_name("stable", 5));
+  EXPECT_EQ(w0, "w0");  // old references survive growth
+}
+
+TEST(IndexedName, PoolHammer) {
+  // A pool of threads races lookups over overlapping prefixes and
+  // interleaved index ranges, recording every reference it saw.  The
+  // interner must give every thread the same address for the same
+  // (prefix, index) and perfectly formed contents while blocks are
+  // being grown concurrently from all sides.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIndices = 4096;
+  const char* const prefixes[] = {"hw", "hl", "hbox"};
+
+  std::vector<std::vector<const std::string*>> seen(
+      kThreads, std::vector<const std::string*>(std::size(prefixes) * kIndices, nullptr));
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &prefixes, &seen] {
+      // Each thread walks the index space with its own odd stride
+      // (odd => coprime with the power-of-two range, so every index is
+      // covered) so growth is triggered from different blocks
+      // concurrently.
+      for (std::size_t step = 0; step < kIndices; ++step) {
+        const std::size_t index = (step * (2 * t + 1) + t * 17) % kIndices;
+        for (std::size_t p = 0; p < std::size(prefixes); ++p) {
+          const std::string& name = indexed_name(prefixes[p], index);
+          ASSERT_EQ(name, prefixes[p] + std::to_string(index));
+          seen[t][p * kIndices + index] = &name;
+        }
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  // Cross-thread address agreement: one object per (prefix, index).
+  for (std::size_t slot = 0; slot < std::size(prefixes) * kIndices; ++slot) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(seen[t][slot], seen[0][slot]) << "slot " << slot;
+    }
+  }
+}
+
+}  // namespace

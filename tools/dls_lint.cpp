@@ -11,6 +11,8 @@
 //   unbounded-sleep       protocol threads wait on deadlines, not naps
 //   bare-mutex            threaded subsystems use the annotated
 //                         support::Mutex wrappers, not std primitives
+//   map-in-hot-path       event-core code (simx/mw) uses the indexed
+//                         platform tables, not node-based std maps
 //
 // Escape hatch: a `// dls-lint: allow(<rule>[, <rule>])` comment
 // suppresses those rules on its own line, and on the next line when
@@ -69,6 +71,9 @@ const std::map<std::string, std::string>& rule_catalog() {
       {"bare-mutex",
        "threaded subsystems use support::Mutex/LockGuard (thread-safety annotated), "
        "not bare std primitives"},
+      {"map-in-hot-path",
+       "event-core code (simx/mw) must not walk node-based maps or hash strings per "
+       "lookup in steady state; use the indexed platform tables and flat vectors"},
   };
   return rules;
 }
@@ -81,6 +86,7 @@ struct Scope {
   bool net_free = false;   ///< naked-net
   bool sleep = false;      ///< unbounded-sleep
   bool bare_mutex = false; ///< bare-mutex
+  bool hot_map = false;    ///< map-in-hot-path
 };
 
 Scope classify(const std::string& path) {
@@ -95,6 +101,7 @@ Scope classify(const std::string& path) {
   scope.sleep = has("src/dist/") || has("src/net/") || has("src/pool/");
   scope.bare_mutex =
       has("src/pool/") || has("src/dist/") || has("src/net/") || has("src/sweep/");
+  scope.hot_map = has("src/simx/") || has("src/mw/");
   return scope;
 }
 
@@ -309,6 +316,8 @@ void check(const std::string& path, const ScannedFile& scanned, std::vector<Find
       "mutex",          "recursive_mutex", "timed_mutex", "shared_mutex",
       "condition_variable", "condition_variable_any",
       "scoped_lock",    "lock_guard",      "unique_lock", "shared_lock"};
+  static const std::set<std::string> kNodeMaps = {"map", "multimap", "unordered_map",
+                                                  "unordered_multimap"};
   // Keywords that precede a call EXPRESSION (vs. a declarator, where an
   // identifier before the name means a return type).
   static const std::set<std::string> kCallContext = {"return", "co_return", "co_await",
@@ -405,6 +414,11 @@ void check(const std::string& path, const ScannedFile& scanned, std::vector<Find
       report(tokens[i], "bare-mutex",
              "'std::" + id + "' in a threaded subsystem; use the annotated "
              "support::Mutex/LockGuard wrappers");
+    }
+    if (scope.hot_map && kNodeMaps.count(id) != 0 && std_qualified) {
+      report(tokens[i], "map-in-hot-path",
+             "'std::" + id + "' in event-core code walks nodes or hashes keys per "
+             "lookup; use the indexed platform tables or a flat vector");
     }
   }
 
